@@ -1,0 +1,301 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (see DESIGN.md §3 for the experiment index).
+//
+// Each benchmark drives the simulated machine and reports the
+// simulated cost as the custom metric "cycles/op" — that column is the
+// reproduction of the paper's numbers; the ns/op column only measures
+// the host running the simulator. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grepsim"
+	"repro/internal/kernelsim"
+	"repro/internal/muslsim"
+	"repro/internal/pysim"
+)
+
+func benchOpts() kernelsim.MeasureOpts {
+	return kernelsim.MeasureOpts{Samples: 30, Iters: 100, Warmup: 3}
+}
+
+// reportCycles runs sample() once per b.N iteration batch and reports
+// the simulated per-op cycles.
+func reportCycles(b *testing.B, sample func() (float64, error)) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		v, err := sample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = v
+	}
+	b.ReportMetric(last, "cycles/op")
+	b.ReportMetric(0, "ns/op") // host time is not the result
+}
+
+// --- E1: Figure 1 table ---
+
+func BenchmarkFig1(b *testing.B) {
+	for _, bind := range []kernelsim.Fig1Binding{
+		kernelsim.Fig1Static, kernelsim.Fig1Dynamic, kernelsim.Fig1Multiverse,
+	} {
+		for _, smp := range []bool{false, true} {
+			name := bind.String()
+			if smp {
+				name += "/SMP=true"
+			} else {
+				name += "/SMP=false"
+			}
+			b.Run(name, func(b *testing.B) {
+				sys, err := kernelsim.BuildFig1(bind, smp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				reportCycles(b, func() (float64, error) {
+					res, err := sys.Measure(benchOpts())
+					return res.Mean, err
+				})
+			})
+		}
+	}
+}
+
+// --- E2: Figure 4 left ---
+
+func BenchmarkFig4Spinlock(b *testing.B) {
+	for _, k := range []kernelsim.SpinKernel{
+		kernelsim.SpinMainline, kernelsim.SpinIf, kernelsim.SpinMultiverse, kernelsim.SpinStaticUP,
+	} {
+		for _, smp := range []bool{false, true} {
+			if k == kernelsim.SpinStaticUP && smp {
+				continue
+			}
+			name := k.String()
+			if smp {
+				name += "/Multicore"
+			} else {
+				name += "/Unicore"
+			}
+			b.Run(name, func(b *testing.B) {
+				s, err := kernelsim.BuildSpin(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.SetSMP(smp); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				reportCycles(b, func() (float64, error) {
+					res, err := s.Measure(benchOpts())
+					return res.Mean, err
+				})
+			})
+		}
+	}
+}
+
+// --- E3: Figure 4 right ---
+
+func BenchmarkFig4PVOps(b *testing.B) {
+	for _, k := range []kernelsim.PVKernel{
+		kernelsim.PVCurrent, kernelsim.PVMultiverse, kernelsim.PVDisabled,
+	} {
+		for _, env := range []kernelsim.PVEnv{kernelsim.EnvNative, kernelsim.EnvXen} {
+			if k == kernelsim.PVDisabled && env == kernelsim.EnvXen {
+				continue
+			}
+			b.Run(k.String()+"/"+env.String(), func(b *testing.B) {
+				p, err := kernelsim.BuildPV(k, env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				reportCycles(b, func() (float64, error) {
+					res, err := p.Measure(benchOpts())
+					return res.Mean, err
+				})
+			})
+		}
+	}
+}
+
+// --- E4: Figure 5 ---
+
+func BenchmarkFig5Musl(b *testing.B) {
+	for _, build := range []muslsim.Build{muslsim.Plain, muslsim.Multiverse} {
+		for _, multi := range []bool{false, true} {
+			mode := "single"
+			if multi {
+				mode = "multi"
+			}
+			for _, f := range muslsim.Funcs() {
+				b.Run(build.String()+"/"+mode+"/"+f.String(), func(b *testing.B) {
+					m, err := muslsim.BuildMusl(build)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := m.SetThreads(multi); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					reportCycles(b, func() (float64, error) {
+						res, err := m.Measure(f, 20, 100)
+						return res.Mean, err
+					})
+				})
+			}
+		}
+	}
+}
+
+// --- E5: grep end-to-end ---
+
+func BenchmarkGrep(b *testing.B) {
+	for _, build := range []grepsim.Build{grepsim.Plain, grepsim.Multiverse} {
+		b.Run(build.String(), func(b *testing.B) {
+			g, err := grepsim.BuildGrep(build)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g.SetMode(false); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			reportCycles(b, func() (float64, error) {
+				res, err := g.Measure(3)
+				return res.Mean, err
+			})
+		})
+	}
+}
+
+// --- E6: cPython allocation path ---
+
+func BenchmarkCPythonGCAlloc(b *testing.B) {
+	for _, build := range []pysim.Build{pysim.Plain, pysim.Multiverse} {
+		b.Run(build.String(), func(b *testing.B) {
+			p, err := pysim.BuildPython(build)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.SetGCEnabled(false); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			reportCycles(b, func() (float64, error) {
+				res, err := p.Measure(10, 100)
+				return res.Mean, err
+			})
+		})
+	}
+}
+
+// --- E7: mass call-site patching ---
+
+func BenchmarkCommitManyCallsites(b *testing.B) {
+	sys, err := kernelsim.BuildManyCallSites(kernelsim.PaperCallSites)
+	if err != nil {
+		b.Fatal(err)
+	}
+	smp := false
+	b.ResetTimer()
+	var sites int
+	for i := 0; i < b.N; i++ {
+		smp = !smp
+		rep, err := kernelsim.TimeCommit(sys, smp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sites = rep.SitesTouched
+	}
+	b.ReportMetric(float64(sites), "sites/commit")
+}
+
+// --- E8: BTB ablation ---
+
+func BenchmarkAblationBTB(b *testing.B) {
+	for _, bind := range []kernelsim.Fig1Binding{kernelsim.Fig1Dynamic, kernelsim.Fig1Multiverse} {
+		for _, cold := range []bool{false, true} {
+			name := bind.String() + "/warm"
+			if cold {
+				name = bind.String() + "/cold"
+			}
+			b.Run(name, func(b *testing.B) {
+				sys, err := kernelsim.BuildFig1(bind, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				reportCycles(b, func() (float64, error) {
+					if cold {
+						res, err := sys.MeasureColdBTB(benchOpts())
+						return res.Mean, err
+					}
+					res, err := sys.Measure(benchOpts())
+					return res.Mean, err
+				})
+			})
+		}
+	}
+}
+
+// --- E9: mechanism ablation ---
+
+func BenchmarkAblationMechanism(b *testing.B) {
+	configs := []struct {
+		name string
+		mod  func(rt *core.Runtime)
+	}{
+		{"full", func(rt *core.Runtime) {}},
+		{"no-inlining", func(rt *core.Runtime) { rt.DisableInlining = true }},
+		{"prologue-only", func(rt *core.Runtime) { rt.PrologueOnly = true }},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, err := kernelsim.BuildSpin(kernelsim.SpinMultiverse)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.mod(s.Runtime())
+			if err := s.SetSMP(false); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			reportCycles(b, func() (float64, error) {
+				res, err := s.Measure(benchOpts())
+				return res.Mean, err
+			})
+		})
+	}
+}
+
+// --- E10: alternative() macros vs multiverse ---
+
+func BenchmarkAlternativeVsMultiverse(b *testing.B) {
+	for _, k := range []kernelsim.AltKernel{kernelsim.AltMacro, kernelsim.AltMultiverse} {
+		for _, feature := range []bool{false, true} {
+			name := k.String() + "/off"
+			if feature {
+				name = k.String() + "/on"
+			}
+			b.Run(name, func(b *testing.B) {
+				a, err := kernelsim.BuildAlt(k, feature)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				reportCycles(b, func() (float64, error) {
+					res, err := a.Measure(benchOpts())
+					return res.Mean, err
+				})
+			})
+		}
+	}
+}

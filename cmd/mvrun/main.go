@@ -1,0 +1,150 @@
+// Command mvrun loads a linked image into the simulated machine,
+// optionally commits the multiverse configuration, calls a function,
+// and reports the result, the console output and the cycle count.
+//
+//	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-wx] image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/machine"
+)
+
+// isaInst aliases the decoded-instruction type for the trace callback.
+type isaInst = isa.Inst
+
+type setFlags []string
+
+func (s *setFlags) String() string     { return strings.Join(*s, ",") }
+func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+var (
+	entry      = flag.String("entry", "main", "function to call")
+	args       = flag.String("args", "", "comma-separated integer arguments")
+	commit     = flag.Bool("commit", false, "run multiverse_commit() before calling")
+	wx         = flag.Bool("wx", false, "enforce the strict W^X memory policy")
+	trace      = flag.Bool("trace", false, "print every executed instruction")
+	state      = flag.Bool("state", false, "print the multiverse binding state before running")
+	traceLimit = flag.Int("trace-limit", 200, "stop tracing after this many instructions")
+	sets       setFlags
+)
+
+func main() {
+	flag.Var(&sets, "set", "set a global or configuration switch, var=value (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mvrun [flags] image")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	img, err := link.ReadImage(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var mopts []machine.Option
+	if *wx {
+		mopts = append(mopts, machine.WithWX())
+	}
+	m, err := machine.New(img, mopts...)
+	if err != nil {
+		return err
+	}
+	rt, err := core.NewRuntime(img, &core.UserPlatform{M: m})
+	if err != nil {
+		return err
+	}
+
+	for _, s := range sets {
+		name, valStr, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("bad -set %q, want var=value", s)
+		}
+		val, err := strconv.ParseInt(valStr, 0, 64)
+		if err != nil {
+			return err
+		}
+		sym, ok := img.Symbols[name]
+		if !ok {
+			return fmt.Errorf("no symbol %q", name)
+		}
+		size := 8
+		if sym.Size > 0 && sym.Size < 8 {
+			size = int(sym.Size)
+		}
+		if err := m.Mem.WriteUint(sym.Addr, size, uint64(val)); err != nil {
+			return err
+		}
+	}
+	if *commit {
+		res, err := rt.Commit()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("commit: %d bound, %d generic\n", res.Committed, res.Generic)
+	}
+
+	if *trace {
+		printed := 0
+		m.CPU.Trace = func(pc uint64, in isaInst) {
+			if printed >= *traceLimit {
+				if printed == *traceLimit {
+					fmt.Println("  ... trace limit reached")
+					printed++
+				}
+				return
+			}
+			printed++
+			if name, ok := img.SymbolAt(pc); ok {
+				if sym, found := img.Symbols[name]; found && sym.Addr == pc {
+					fmt.Printf("%s:\n", name)
+				}
+			}
+			fmt.Printf("  %#08x: %s\n", pc, in.Format(pc))
+		}
+	}
+
+	if *state {
+		fmt.Print(rt.StateReport())
+	}
+
+	var callArgs []uint64
+	if *args != "" {
+		for _, a := range strings.Split(*args, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(a), 0, 64)
+			if err != nil {
+				return err
+			}
+			callArgs = append(callArgs, v)
+		}
+	}
+	start := m.CPU.Cycles()
+	ret, err := m.CallNamed(*entry, callArgs...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s(%s) = %d (%#x)\n", *entry, *args, int64(ret), ret)
+	fmt.Printf("cycles: %d, instructions: %d\n", m.CPU.Cycles()-start, m.CPU.Stats().Instructions)
+	if out := m.Console(); len(out) > 0 {
+		fmt.Printf("console: %q\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Function-pointer switches: the PV-Ops pattern (§4, §6.1). A
+// multiversed function pointer dispatches to per-environment
+// implementations; committing patches every call site into a direct
+// call (or inlines a trivial body), and the prologue-free indirect
+// path disappears.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/kernelsim"
+)
+
+const program = `
+	long native_ops;
+	long hyper_ops;
+
+	void native_flush(void) { native_ops++; }
+	void hyper_flush(void) {
+		hyper_ops++;
+		__hcall(1);
+	}
+
+	// The annotated function pointer is a configuration switch whose
+	// call sites the compiler records (paper §4).
+	multiverse void (*tlb_flush)(void);
+
+	void touch_memory(void) { tlb_flush(); }
+
+	long natives(void) { return native_ops; }
+	long hypers(void)  { return hyper_ops; }
+`
+
+func main() {
+	sys, err := core.BuildSystem(core.GenOptions{}, nil,
+		core.Source{Name: "funcptr", Text: program})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hypercall 1 needs a hypervisor; reuse kernelsim's Xen model.
+	xen := &kernelsim.Xen{}
+	sys.Machine.CPU.SetHypervisor(xen)
+
+	call := func(name string) uint64 {
+		v, err := sys.Machine.CallNamed(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+
+	fmt.Println("boot on bare metal: tlb_flush = native_flush")
+	if err := sys.SetFnPtr("tlb_flush", "native_flush"); err != nil {
+		log.Fatal(err)
+	}
+	call("touch_memory") // indirect call through the pointer
+	fmt.Printf("  uncommitted (indirect): natives=%d hypers=%d\n", call("natives"), call("hypers"))
+
+	res, err := sys.RT.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  commit: %d switch bound, %d site(s) direct, %d inlined\n",
+		res.Committed, sys.RT.Stats.SitesPatched, sys.RT.Stats.SitesInlined)
+	call("touch_memory")
+	fmt.Printf("  committed (direct): natives=%d hypers=%d\n", call("natives"), call("hypers"))
+
+	fmt.Println("\nmigrate under a hypervisor: tlb_flush = hyper_flush, then re-commit")
+	if err := sys.SetFnPtr("tlb_flush", "hyper_flush"); err != nil {
+		log.Fatal(err)
+	}
+	call("touch_memory")
+	fmt.Printf("  before re-commit the binding is unchanged: natives=%d hypers=%d\n",
+		call("natives"), call("hypers"))
+	if _, err := sys.RT.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	call("touch_memory")
+	fmt.Printf("  after re-commit: natives=%d hypers=%d (hypercalls seen: %d)\n",
+		call("natives"), call("hypers"), xen.Hypercalls)
+}

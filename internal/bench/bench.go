@@ -1,0 +1,135 @@
+// Package bench implements the measurement methodology of the paper's
+// evaluation (§6.1/§7.5): repeated samples of many invocations each,
+// timed with the cycle counter, with the small population of outliers
+// (≤ 0.04 %) removed before averaging.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result summarizes one measurement series.
+type Result struct {
+	Mean    float64
+	Std     float64
+	Min     float64
+	Max     float64
+	Samples int
+	Dropped int // outliers removed
+}
+
+// String renders mean ± std.
+func (r Result) String() string {
+	return fmt.Sprintf("%.2f ±%.2f (n=%d)", r.Mean, r.Std, r.Samples)
+}
+
+// OutlierFraction is the maximum fraction of samples dropped as
+// outliers, mirroring the paper's "not exceeding 0.04 %".
+const OutlierFraction = 0.0004
+
+// Measure collects n samples from sample() and returns filtered
+// statistics. Sample values are per-operation costs (cycles, ns, ...).
+// At least one sample is always dropped from the top when n is large
+// enough, because the very first executions run with cold caches and
+// predictors — the same role processor interrupts play in the paper's
+// setup.
+func Measure(n int, sample func() float64) Result {
+	if n <= 0 {
+		return Result{}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = sample()
+	}
+	return Summarize(vals)
+}
+
+// Summarize filters outliers and computes statistics.
+func Summarize(vals []float64) Result {
+	n := len(vals)
+	if n == 0 {
+		return Result{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	drop := int(math.Ceil(float64(n) * OutlierFraction))
+	if drop >= n {
+		drop = n - 1
+	}
+	kept := sorted[:n-drop]
+
+	var sum float64
+	for _, v := range kept {
+		sum += v
+	}
+	mean := sum / float64(len(kept))
+	var sq float64
+	for _, v := range kept {
+		d := v - mean
+		sq += d * d
+	}
+	std := 0.0
+	if len(kept) > 1 {
+		std = math.Sqrt(sq / float64(len(kept)-1))
+	}
+	return Result{
+		Mean:    mean,
+		Std:     std,
+		Min:     kept[0],
+		Max:     kept[len(kept)-1],
+		Samples: len(kept),
+		Dropped: drop,
+	}
+}
+
+// Table renders rows of labelled results with aligned columns.
+func Table(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		out := ""
+		for i, c := range cells {
+			if i > 0 {
+				out += "  "
+			}
+			out += pad(c, widths[i])
+		}
+		return out + "\n"
+	}
+	s := title + "\n"
+	s += line(header)
+	for i := range widths {
+		header[i] = dashes(widths[i])
+	}
+	s += line(header)
+	for _, row := range rows {
+		s += line(row)
+	}
+	return s
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func dashes(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '-'
+	}
+	return string(out)
+}

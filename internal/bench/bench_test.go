@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	r := Summarize([]float64{2, 4, 6})
+	if r.Samples != 2 { // one outlier dropped from the top
+		t.Errorf("samples = %d", r.Samples)
+	}
+	if r.Mean != 3 {
+		t.Errorf("mean = %f, want 3 after dropping the max", r.Mean)
+	}
+	if r.Min != 2 || r.Max != 4 {
+		t.Errorf("min/max = %f/%f", r.Min, r.Max)
+	}
+	if r.Dropped != 1 {
+		t.Errorf("dropped = %d", r.Dropped)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if r := Summarize(nil); r.Samples != 0 {
+		t.Errorf("empty: %+v", r)
+	}
+	r := Summarize([]float64{7})
+	if r.Samples != 1 || r.Mean != 7 || r.Std != 0 {
+		t.Errorf("single: %+v", r)
+	}
+}
+
+func TestOutlierRejection(t *testing.T) {
+	// 10000 identical samples plus interrupt-like spikes: with n=10000
+	// the 0.04% rule drops ceil(4) = 4 outliers.
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = 10
+	}
+	vals[17] = 5000
+	vals[423] = 9000
+	vals[999] = 7000
+	r := Summarize(vals)
+	if r.Mean != 10 {
+		t.Errorf("mean = %f, want 10 (outliers not rejected)", r.Mean)
+	}
+	if r.Dropped != 4 {
+		t.Errorf("dropped = %d, want 4", r.Dropped)
+	}
+}
+
+func TestOutlierFractionMatchesPaper(t *testing.T) {
+	if OutlierFraction != 0.0004 {
+		t.Errorf("OutlierFraction = %v, want the paper's 0.04%%", OutlierFraction)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Summarize(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestMeanWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		r := Summarize(vals)
+		return r.Mean >= r.Min-1e-9 && r.Mean <= r.Max+1e-9 && r.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureCallsSampler(t *testing.T) {
+	n := 0
+	r := Measure(5, func() float64 {
+		n++
+		return float64(n)
+	})
+	if n != 5 {
+		t.Errorf("sampler called %d times", n)
+	}
+	if r.Samples+r.Dropped != 5 {
+		t.Errorf("samples %d + dropped %d != 5", r.Samples, r.Dropped)
+	}
+	if Measure(0, func() float64 { return 1 }).Samples != 0 {
+		t.Error("Measure(0) not empty")
+	}
+}
+
+func TestStdDeviation(t *testing.T) {
+	// 2, 4, 4, 4, 5, 5, 7, 9 has stddev 2 (population) / ~2.14 (sample);
+	// add a dropped max so the kept set is the classic example.
+	r := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9, 1000})
+	want := math.Sqrt((9 + 1 + 1 + 1 + 0 + 0 + 4 + 16) / 7.0) // mean 5, sample variance
+	if math.Abs(r.Std-want) > 1e-9 {
+		t.Errorf("std = %f, want %f", r.Std, want)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	out := Table("title", []string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"yyyyyy", "2"},
+	})
+	if !strings.HasPrefix(out, "title\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "long-header") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Error("separator missing")
+	}
+	// Columns align: 'long-header' and '1'/'2' start at the same offset.
+	h := strings.Index(lines[1], "long-header")
+	if lines[4][h:h+1] != "2" {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Mean: 1.234, Std: 0.5, Samples: 10}
+	if s := r.String(); !strings.Contains(s, "1.23") || !strings.Contains(s, "n=10") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,314 @@
+package cc
+
+// This file defines the typed AST. The parser builds it; Check
+// (sema.go) resolves names and annotates types; the optimizer
+// (package mvir) transforms deep copies of it; the code generator
+// walks it.
+
+// Node is the common interface of AST nodes.
+type Node interface {
+	Pos() Pos
+}
+
+// ---- Symbols ----
+
+// StorageClass distinguishes globals, statics, locals and parameters.
+type StorageClass int
+
+// Storage classes.
+const (
+	StorageGlobal StorageClass = iota
+	StorageStatic              // file-local global
+	StorageLocal
+	StorageParam
+)
+
+// VarSym is a resolved variable (or function) symbol. Symbols are
+// shared between all references; the optimizer's function cloner keeps
+// global symbols shared but re-creates local ones.
+type VarSym struct {
+	Name    string
+	Type    *Type
+	Storage StorageClass
+	Extern  bool // declared but not defined here
+
+	// Multiverse marks a configuration switch (paper §2).
+	Multiverse bool
+	// Domain is the explicit specialization domain; nil means the
+	// default policy (ints: {0,1}; enums: all enumerators).
+	Domain []int64
+
+	// Init is the constant initializer of a global scalar, if any.
+	Init *int64
+
+	// Func is non-nil when the symbol names a function.
+	Func *FuncDecl
+
+	// Seq disambiguates shadowed locals; assigned by sema.
+	Seq int
+}
+
+// IsGlobalData reports whether the symbol denotes memory-resident
+// global data (including statics).
+func (s *VarSym) IsGlobalData() bool {
+	return (s.Storage == StorageGlobal || s.Storage == StorageStatic) && s.Func == nil
+}
+
+// ---- Expressions ----
+
+// Expr is an expression node. Type() is valid after Check.
+type Expr interface {
+	Node
+	Type() *Type
+}
+
+type exprBase struct {
+	P  Pos
+	Ty *Type
+}
+
+func (e *exprBase) Pos() Pos        { return e.P }
+func (e *exprBase) Type() *Type     { return e.Ty }
+func (e *exprBase) SetType(t *Type) { e.Ty = t }
+
+// IntLit is an integer, boolean or character constant.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// StrLit is a string literal; it has type char* and points into
+// .rodata.
+type StrLit struct {
+	exprBase
+	Value string
+}
+
+// VarRef references a variable, parameter or function.
+type VarRef struct {
+	exprBase
+	Name string
+	Sym  *VarSym // set by Check
+}
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is x op y for arithmetic, comparison, shift, bitwise and the
+// short-circuit && and ||.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign is lhs = rhs and the compound forms (+=, <<=, ...).
+type Assign struct {
+	exprBase
+	Op  string // "=", "+=", ...
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is x++ / x-- / ++x / --x.
+type IncDec struct {
+	exprBase
+	Op     string // "++" or "--"
+	X      Expr
+	Prefix bool // value semantics: prefix yields the new value
+}
+
+// Call invokes a function (direct or through a function pointer).
+type Call struct {
+	exprBase
+	Fn   Expr
+	Args []Expr
+}
+
+// Index is base[idx], equivalent to *(base + idx).
+type Index struct {
+	exprBase
+	Base Expr
+	Idx  Expr
+}
+
+// Cast converts x to the named type.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+// Cond is c ? t : f.
+type Cond struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Builtin is one of the compiler builtins (__xchg, __cli, __sti,
+// __hcall, __outb, __inb, __rdtsc, __pause).
+type Builtin struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+}
+
+type stmtBase struct{ P Pos }
+
+func (s *stmtBase) Pos() Pos { return s.P }
+
+// Block is { ... }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// DeclStmt declares (and optionally initializes) a local variable.
+type DeclStmt struct {
+	stmtBase
+	Sym  *VarSym
+	Init Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// If is if (cond) then else els.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is while (cond) body.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is do body while (cond);.
+type DoWhile struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For is for (init; cond; post) body. Init may be a DeclStmt or
+// ExprStmt; cond and post may be nil.
+type For struct {
+	stmtBase
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// Switch is switch (cond) { cases }. Consecutive case labels share a
+// body through empty-bodied entries (C fallthrough).
+type Switch struct {
+	stmtBase
+	Cond  Expr
+	Cases []*SwitchCase
+}
+
+// SwitchCase is one case (or default) label and the statements up to
+// the next label; execution falls through into the following entry.
+type SwitchCase struct {
+	P         Pos
+	IsDefault bool
+	Val       int64 // constant case value (unless IsDefault)
+	Stmts     []Stmt
+}
+
+// Return is return x; (x may be nil).
+type Return struct {
+	stmtBase
+	X Expr
+}
+
+// Break is break;.
+type Break struct{ stmtBase }
+
+// Continue is continue;.
+type Continue struct{ stmtBase }
+
+// Empty is a lone semicolon.
+type Empty struct{ stmtBase }
+
+// ---- Declarations ----
+
+// FuncDecl is a function declaration or definition.
+type FuncDecl struct {
+	P      Pos
+	Name   string
+	Sym    *VarSym // the symbol naming this function
+	Params []*VarSym
+	Ret    *Type
+	Body   *Block // nil for a prototype
+
+	Multiverse bool
+	// BindOnly restricts specialization to the named switches —
+	// partial specialization (paper §2, §7.1). Empty binds all
+	// referenced switches.
+	BindOnly  []string
+	NoScratch bool // PV-Ops style callee-saves-everything convention
+	Static    bool
+}
+
+// Pos implements Node.
+func (f *FuncDecl) Pos() Pos { return f.P }
+
+// Type returns the function type.
+func (f *FuncDecl) Type() *Type {
+	params := make([]*Type, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.Type
+	}
+	return FuncType(f.Ret, params)
+}
+
+// GlobalDecl is a file-scope variable definition or extern declaration.
+type GlobalDecl struct {
+	P    Pos
+	Sym  *VarSym
+	Init Expr // constant initializer or nil
+}
+
+// Pos implements Node.
+func (g *GlobalDecl) Pos() Pos { return g.P }
+
+// EnumDecl declares an enumeration; its enumerators become integer
+// constants.
+type EnumDecl struct {
+	P      Pos
+	Name   string
+	Names  []string
+	Values []int64
+}
+
+// Pos implements Node.
+func (e *EnumDecl) Pos() Pos { return e.P }
+
+// Unit is one translation unit.
+type Unit struct {
+	File    string
+	Decls   []Node // FuncDecl, GlobalDecl, EnumDecl in source order
+	Enums   map[string]*EnumDecl
+	Globals map[string]*VarSym // all file-scope variable and function symbols
+}

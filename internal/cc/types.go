@@ -1,0 +1,211 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies MVC types.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindVoid TypeKind = iota
+	KindBool
+	KindInt  // sized signed/unsigned integer
+	KindEnum // named enumeration; represented as i32
+	KindPtr
+	KindArray // global arrays only
+	KindFunc
+)
+
+// Type describes an MVC type. Types are immutable after construction;
+// equal types may or may not be pointer-identical, use Same.
+type Type struct {
+	Kind     TypeKind
+	Size     int  // byte size for Bool/Int/Enum
+	Signed   bool // for Int
+	Elem     *Type
+	ArrayLen int64
+	Ret      *Type
+	Params   []*Type
+	EnumName string
+}
+
+// Predeclared types.
+var (
+	TypeVoid   = &Type{Kind: KindVoid}
+	TypeBool   = &Type{Kind: KindBool, Size: 1}
+	TypeChar   = &Type{Kind: KindInt, Size: 1, Signed: true}
+	TypeUChar  = &Type{Kind: KindInt, Size: 1}
+	TypeShort  = &Type{Kind: KindInt, Size: 2, Signed: true}
+	TypeUShort = &Type{Kind: KindInt, Size: 2}
+	TypeInt    = &Type{Kind: KindInt, Size: 4, Signed: true}
+	TypeUInt   = &Type{Kind: KindInt, Size: 4}
+	TypeLong   = &Type{Kind: KindInt, Size: 8, Signed: true}
+	TypeULong  = &Type{Kind: KindInt, Size: 8}
+)
+
+// PointerTo returns the pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: KindPtr, Size: 8, Elem: elem} }
+
+// ArrayOf returns the array type of n elems.
+func ArrayOf(elem *Type, n int64) *Type {
+	return &Type{Kind: KindArray, Elem: elem, ArrayLen: n}
+}
+
+// FuncType returns a function type.
+func FuncType(ret *Type, params []*Type) *Type {
+	return &Type{Kind: KindFunc, Ret: ret, Params: params}
+}
+
+// EnumType returns the named enum type (i32 representation).
+func EnumType(name string) *Type {
+	return &Type{Kind: KindEnum, Size: 4, Signed: true, EnumName: name}
+}
+
+// IsInteger reports whether t is usable in integer arithmetic (bool,
+// int, enum).
+func (t *Type) IsInteger() bool {
+	return t.Kind == KindBool || t.Kind == KindInt || t.Kind == KindEnum
+}
+
+// IsScalar reports whether t can appear in conditions and comparisons.
+func (t *Type) IsScalar() bool { return t.IsInteger() || t.Kind == KindPtr }
+
+// ByteSize returns the storage size of a value of type t.
+func (t *Type) ByteSize() int64 {
+	switch t.Kind {
+	case KindBool, KindInt, KindEnum:
+		return int64(t.Size)
+	case KindPtr:
+		return 8
+	case KindArray:
+		return t.Elem.ByteSize() * t.ArrayLen
+	case KindFunc:
+		return 8 // function designators decay to pointers
+	}
+	return 0
+}
+
+// IsSigned reports whether loads of t sign-extend.
+func (t *Type) IsSigned() bool {
+	switch t.Kind {
+	case KindInt, KindEnum:
+		return t.Signed || t.Kind == KindEnum
+	}
+	return false
+}
+
+// Same reports structural type equality.
+func (t *Type) Same(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindVoid, KindBool:
+		return true
+	case KindInt:
+		return t.Size == o.Size && t.Signed == o.Signed
+	case KindEnum:
+		return t.EnumName == o.EnumName
+	case KindPtr:
+		return t.Elem.Same(o.Elem)
+	case KindArray:
+		return t.ArrayLen == o.ArrayLen && t.Elem.Same(o.Elem)
+	case KindFunc:
+		if !t.Ret.Same(o.Ret) || len(t.Params) != len(o.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Same(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		base := map[int]string{1: "char", 2: "short", 4: "int", 8: "long"}[t.Size]
+		if !t.Signed {
+			return "u" + base
+		}
+		return base
+	case KindEnum:
+		return "enum " + t.EnumName
+	case KindPtr:
+		return t.Elem.String() + "*"
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case KindFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ", "))
+	}
+	return "<bad type>"
+}
+
+// Common returns the usual-arithmetic-conversion result of two integer
+// types: the wider wins; at equal width unsigned wins. Everything is
+// computed in 64-bit registers; the common type decides signedness of
+// comparisons and of / and %.
+func Common(a, b *Type) *Type {
+	pa, pb := promote(a), promote(b)
+	wa, wb := pa.ByteSize(), pb.ByteSize()
+	var w int64
+	var signed bool
+	switch {
+	case wa == wb:
+		w = wa
+		signed = pa.Signed && pb.Signed
+	case wa > wb:
+		w, signed = wa, pa.Signed
+	default:
+		w, signed = wb, pb.Signed
+	}
+	if w == 4 {
+		if signed {
+			return TypeInt
+		}
+		return TypeUInt
+	}
+	if signed {
+		return TypeLong
+	}
+	return TypeULong
+}
+
+// promote applies the C integer promotions: every type narrower than
+// int (and bool and enums) becomes signed int.
+func promote(t *Type) *Type {
+	if t.Kind == KindBool || t.Kind == KindEnum || t.ByteSize() < 4 {
+		return TypeInt
+	}
+	if t.ByteSize() == 4 {
+		if t.IsSigned() {
+			return TypeInt
+		}
+		return TypeUInt
+	}
+	if t.IsSigned() {
+		return TypeLong
+	}
+	return TypeULong
+}

@@ -1,0 +1,295 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// directCallee returns the function declaration when the call target is
+// a plain function reference.
+func directCallee(fn cc.Expr) (*cc.VarSym, *cc.FuncDecl, bool) {
+	vr, ok := fn.(*cc.VarRef)
+	if !ok || vr.Sym == nil || vr.Sym.Func == nil {
+		return nil, nil, false
+	}
+	return vr.Sym, vr.Sym.Func, true
+}
+
+// switchPointer returns the multiverse function-pointer switch when the
+// call goes through one.
+func switchPointer(fn cc.Expr) (*cc.VarSym, bool) {
+	vr, ok := fn.(*cc.VarRef)
+	if !ok || vr.Sym == nil || vr.Sym.Func != nil {
+		return nil, false
+	}
+	if vr.Sym.Multiverse && vr.Sym.Type.Kind == cc.KindPtr && vr.Sym.Type.Elem.Kind == cc.KindFunc {
+		return vr.Sym, true
+	}
+	return nil, false
+}
+
+// call emits a function call. It returns the register index holding the
+// result, or -1 for void calls.
+func (fe *fnEmitter) call(x *cc.Call) (int, error) {
+	calleeSym, calleeDecl, direct := directCallee(x.Fn)
+	noScratch := direct && calleeDecl.NoScratch
+
+	// 1. Save the live expression registers (the callee clobbers all
+	//    scratch registers). A no-scratch callee preserves registers
+	//    itself, so only live temps that collide with argument-passing
+	//    registers need saving.
+	saved := append([]isa.Reg(nil), fe.vstack...)
+	var pushed []isa.Reg
+	if noScratch {
+		for _, r := range saved {
+			if int(r) < len(x.Args) {
+				pushed = append(pushed, r)
+			}
+		}
+	} else {
+		pushed = saved
+	}
+	for _, r := range pushed {
+		fe.asm().Push(r)
+		fe.free(r)
+	}
+
+	// 2. Calls through a multiverse function-pointer switch compile to
+	//    a single memory-indirect CALLM — the uniform patch unit the
+	//    runtime later rewrites into a direct call (the kernel's
+	//    "call *pv_ops.field" sites). Other indirect calls evaluate
+	//    the target into r9 (never an argument register).
+	const fnReg = isa.Reg(9)
+	mvSwitch, isSwitch := switchPointer(x.Fn)
+	indirect := !direct && !isSwitch
+	if indirect {
+		rf, err := fe.expr(x.Fn)
+		if err != nil {
+			return -1, err
+		}
+		if rf != fnReg {
+			if fe.isLive(fnReg) {
+				return -1, fmt.Errorf("internal: r9 busy for indirect call")
+			}
+			fe.asm().Mov(fnReg, rf)
+			fe.free(rf)
+			fe.vstack = append(fe.vstack, fnReg)
+			fe.clobbered[fnReg] = true
+		}
+	}
+
+	// 3. Evaluate arguments left to right.
+	var argRegs []isa.Reg
+	for _, a := range x.Args {
+		r, err := fe.expr(a)
+		if err != nil {
+			return -1, err
+		}
+		argRegs = append(argRegs, r)
+	}
+
+	// 4. Shuffle argument registers into r0..r(n-1).
+	if err := fe.shuffleArgs(argRegs, indirect, fnReg); err != nil {
+		return -1, err
+	}
+
+	// 5. Emit the call instruction (exactly isa.CallSiteLen bytes) and
+	//    record multiverse call sites.
+	at := uint64(fe.asm().Len())
+	switch {
+	case direct:
+		name := fe.e.symName(calleeSym)
+		fe.asm().Call(0)
+		fe.e.o.AddReloc(obj.Reloc{
+			Section: obj.SecText,
+			Offset:  at + 1,
+			Type:    obj.RelocRel32,
+			Symbol:  name,
+		})
+		if calleeDecl.Multiverse {
+			fe.e.callSites = append(fe.e.callSites, callSiteRec{textOff: at, calleeSym: name})
+		}
+	case isSwitch:
+		fe.asm().CallM(0)
+		fe.e.o.AddReloc(obj.Reloc{
+			Section: obj.SecText,
+			Offset:  at + 1,
+			Type:    obj.RelocAbs64,
+			Symbol:  fe.e.symName(mvSwitch),
+		})
+		fe.e.callSites = append(fe.e.callSites, callSiteRec{
+			textOff:   at,
+			calleeSym: fe.e.symName(mvSwitch),
+		})
+	default:
+		fe.asm().CallR(fnReg)
+	}
+
+	// All argument (and fn) registers die at the call.
+	fe.vstack = fe.vstack[:0]
+	if !noScratch {
+		for r := 0; r < numScratch; r++ {
+			fe.clobbered[r] = true
+		}
+	}
+
+	// 6. Restore saved registers and fetch the result.
+	fe.vstack = append(fe.vstack, saved...)
+	res := -1
+	if x.Type().Kind != cc.KindVoid {
+		r, err := fe.alloc()
+		if err != nil {
+			return -1, err
+		}
+		if r != 0 {
+			fe.asm().Mov(r, 0)
+		}
+		res = int(r)
+	}
+	for i := len(pushed) - 1; i >= 0; i-- {
+		fe.asm().Pop(pushed[i])
+	}
+	return res, nil
+}
+
+func (fe *fnEmitter) isLive(r isa.Reg) bool {
+	for _, v := range fe.vstack {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+// shuffleArgs moves argRegs into r0..r(n-1) with MOVs, resolving
+// permutation cycles through a spare register.
+func (fe *fnEmitter) shuffleArgs(argRegs []isa.Reg, keepFn bool, fnReg isa.Reg) error {
+	n := len(argRegs)
+	if n > 6 {
+		return fmt.Errorf("more than 6 arguments")
+	}
+	// cur[i] = register currently holding argument i; want i.
+	cur := append([]isa.Reg(nil), argRegs...)
+	occupied := func(r isa.Reg) int {
+		for i, c := range cur {
+			if c == r {
+				return i
+			}
+		}
+		return -1
+	}
+	for {
+		progress := false
+		done := true
+		for i := 0; i < n; i++ {
+			want := isa.Reg(i)
+			if cur[i] == want {
+				continue
+			}
+			done = false
+			if occupied(want) == -1 && (!keepFn || want != fnReg) {
+				fe.asm().Mov(want, cur[i])
+				cur[i] = want
+				fe.clobbered[want] = true
+				progress = true
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			// A cycle: rotate through a spare register (r8 is never an
+			// argument target; fnReg is r9).
+			spare := isa.Reg(8)
+			if keepFn && spare == fnReg {
+				spare = isa.Reg(7)
+			}
+			if occupied(spare) != -1 {
+				return fmt.Errorf("internal: no spare register for argument shuffle")
+			}
+			// Break the first out-of-place chain.
+			for i := 0; i < n; i++ {
+				if cur[i] != isa.Reg(i) {
+					fe.asm().Mov(spare, cur[i])
+					cur[i] = spare
+					fe.clobbered[spare] = true
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// builtin emits a compiler builtin; returns the result register index
+// or -1 for void builtins.
+func (fe *fnEmitter) builtin(x *cc.Builtin) (int, error) {
+	a := fe.asm()
+	switch x.Name {
+	case "__pause":
+		a.Pause()
+		return -1, nil
+	case "__cli":
+		a.Cli()
+		return -1, nil
+	case "__sti":
+		a.Sti()
+		return -1, nil
+	case "__hcall":
+		lit, ok := x.Args[0].(*cc.IntLit)
+		if !ok || lit.Value < 0 || lit.Value > 255 {
+			return -1, fmt.Errorf("__hcall requires a constant 0..255")
+		}
+		a.Hcall(uint8(lit.Value))
+		return -1, nil
+	case "__outb":
+		lit, ok := x.Args[0].(*cc.IntLit)
+		if !ok || lit.Value < 0 || lit.Value > 255 {
+			return -1, fmt.Errorf("__outb port must be a constant 0..255")
+		}
+		r, err := fe.expr(x.Args[1])
+		if err != nil {
+			return -1, err
+		}
+		a.OutB(uint8(lit.Value), r)
+		fe.free(r)
+		return -1, nil
+	case "__inb":
+		lit, ok := x.Args[0].(*cc.IntLit)
+		if !ok || lit.Value < 0 || lit.Value > 255 {
+			return -1, fmt.Errorf("__inb port must be a constant 0..255")
+		}
+		r, err := fe.alloc()
+		if err != nil {
+			return -1, err
+		}
+		a.InB(r, uint8(lit.Value))
+		return int(r), nil
+	case "__rdtsc":
+		r, err := fe.alloc()
+		if err != nil {
+			return -1, err
+		}
+		a.Rdtsc(r)
+		return int(r), nil
+	case "__xchg":
+		rp, err := fe.expr(x.Args[0])
+		if err != nil {
+			return -1, err
+		}
+		rv, err := fe.expr(x.Args[1])
+		if err != nil {
+			return -1, err
+		}
+		a.Xchg(rp, rv) // rv receives the old value
+		fe.free(rp)
+		// rv stays live as the result; ensure it is on top.
+		fe.free(rv)
+		fe.vstack = append(fe.vstack, rv)
+		return int(rv), nil
+	}
+	return -1, fmt.Errorf("codegen: unknown builtin %q", x.Name)
+}

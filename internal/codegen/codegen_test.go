@@ -1,0 +1,534 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/link"
+	"repro/internal/machine"
+	"repro/internal/obj"
+)
+
+// compileAndLoad runs the full pipeline on one or more MVC sources and
+// returns a loaded machine.
+func compileAndLoad(t *testing.T, srcs ...string) *machine.Machine {
+	t.Helper()
+	var objs []*obj.Object
+	for i, src := range srcs {
+		name := "unit" + string(rune('A'+i)) + ".mvc"
+		u, err := cc.Parse(name, src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := cc.Check(u); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		o, err := Compile(ProgramFromUnit(u))
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		objs = append(objs, o)
+	}
+	img, err := link.Link(objs...)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m, err := machine.New(img)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return m
+}
+
+func callOK(t *testing.T, m *machine.Machine, name string, args ...uint64) uint64 {
+	t.Helper()
+	v, err := m.CallNamed(name, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", name, err)
+	}
+	return v
+}
+
+func TestArithmeticFunctions(t *testing.T) {
+	m := compileAndLoad(t, `
+		long add(long a, long b) { return a + b; }
+		long mix(long a, long b, long c) { return a * b - c / 2 + (a % 3); }
+		long neg(long a) { return -a; }
+		long bitops(long a, long b) { return ((a & b) | (a ^ b)) << 1 >> 1; }
+	`)
+	if got := callOK(t, m, "add", 30, 12); got != 42 {
+		t.Errorf("add = %d", got)
+	}
+	if got := int64(callOK(t, m, "mix", 7, 6, 10)); got != 7*6-10/2+7%3 {
+		t.Errorf("mix = %d", got)
+	}
+	if got := int64(callOK(t, m, "neg", 5)); got != -5 {
+		t.Errorf("neg = %d", got)
+	}
+	if got := callOK(t, m, "bitops", 0b1100, 0b1010); got != ((0b1100&0b1010)|(0b1100^0b1010))<<1>>1 {
+		t.Errorf("bitops = %d", got)
+	}
+}
+
+func TestUnsignedDivision(t *testing.T) {
+	m := compileAndLoad(t, `
+		ulong udiv(ulong a, ulong b) { return a / b; }
+		ulong umod(ulong a, ulong b) { return a % b; }
+		long sdiv(long a, long b) { return a / b; }
+	`)
+	big := uint64(0xFFFFFFFFFFFFFFF0)
+	if got := callOK(t, m, "udiv", big, 16); got != big/16 {
+		t.Errorf("udiv = %d, want %d", got, big/16)
+	}
+	if got := callOK(t, m, "umod", big, 7); got != big%7 {
+		t.Errorf("umod = %d", got)
+	}
+	if got := int64(callOK(t, m, "sdiv", uint64(0xFFFFFFFFFFFFFFF0), 16)); got != -1 {
+		t.Errorf("sdiv(-16, 16) = %d, want -1", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m := compileAndLoad(t, `
+		long sumTo(long n) {
+			long s = 0;
+			for (long i = 1; i <= n; i++) { s += i; }
+			return s;
+		}
+		long collatzSteps(long n) {
+			long steps = 0;
+			while (n != 1) {
+				if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+				steps++;
+			}
+			return steps;
+		}
+		long firstSquareAbove(long limit) {
+			long i = 0;
+			do { i++; } while (i * i <= limit);
+			return i * i;
+		}
+		long breaker(long n) {
+			long acc = 0;
+			for (long i = 0; i < 100; i++) {
+				if (i == n) { break; }
+				if (i % 2) { continue; }
+				acc += i;
+			}
+			return acc;
+		}
+	`)
+	if got := callOK(t, m, "sumTo", 100); got != 5050 {
+		t.Errorf("sumTo = %d", got)
+	}
+	if got := callOK(t, m, "collatzSteps", 27); got != 111 {
+		t.Errorf("collatz(27) = %d, want 111", got)
+	}
+	if got := callOK(t, m, "firstSquareAbove", 99); got != 100 {
+		t.Errorf("firstSquareAbove = %d", got)
+	}
+	want := uint64(0 + 2 + 4 + 6)
+	if got := callOK(t, m, "breaker", 7); got != want {
+		t.Errorf("breaker = %d, want %d", got, want)
+	}
+}
+
+func TestGlobalsAndPointers(t *testing.T) {
+	m := compileAndLoad(t, `
+		long counter = 3;
+		long buf[16];
+		long bump(void) { counter++; return counter; }
+		void fill(long n) {
+			for (long i = 0; i < n; i++) { buf[i] = i * i; }
+		}
+		long sum(long n) {
+			long s = 0;
+			long* p = buf;
+			for (long i = 0; i < n; i++) { s += *p; p++; }
+			return s;
+		}
+		long via(long* p) { return *p + p[1]; }
+		void swap(long* a, long* b) { long t = *a; *a = *b; *b = t; }
+		long swapped(void) {
+			long x = 1;
+			long y = 2;
+			swap(&x, &y);
+			return x * 10 + y;
+		}
+	`)
+	if got := callOK(t, m, "bump"); got != 4 {
+		t.Errorf("bump = %d (initializer lost?)", got)
+	}
+	callOK(t, m, "fill", 5)
+	if got := callOK(t, m, "sum", 5); got != 0+1+4+9+16 {
+		t.Errorf("sum = %d", got)
+	}
+	bufAddr := m.MustSymbol("buf")
+	if got := callOK(t, m, "via", bufAddr); got != 0+1 {
+		t.Errorf("via = %d", got)
+	}
+	if got := callOK(t, m, "swapped"); got != 21 {
+		t.Errorf("swapped = %d", got)
+	}
+}
+
+func TestNarrowTypes(t *testing.T) {
+	m := compileAndLoad(t, `
+		char cbuf[8];
+		int istore(int v) { int x = v; return x; }
+		long signext(void) {
+			cbuf[0] = (char)200;
+			return cbuf[0];
+		}
+		long zeroext(void) {
+			cbuf[1] = (char)200;
+			uchar* p = (uchar*)cbuf;
+			return p[1];
+		}
+		long truncated(long v) { return (int)v; }
+		ulong utrunc(long v) { return (uint)v; }
+	`)
+	if got := int64(callOK(t, m, "signext")); got != -56 { // int8(200)
+		t.Errorf("signext = %d, want -56", got)
+	}
+	if got := callOK(t, m, "zeroext"); got != 200 {
+		t.Errorf("zeroext = %d", got)
+	}
+	if got := int64(callOK(t, m, "truncated", 0x1_0000_0001)); got != 1 {
+		t.Errorf("truncated = %d", got)
+	}
+	if got := int64(callOK(t, m, "truncated", uint64(0xFFFFFFFF))); got != -1 {
+		t.Errorf("truncated(0xFFFFFFFF) = %d, want -1", got)
+	}
+	if got := callOK(t, m, "utrunc", uint64(0xAABBCCDD11223344)); got != 0x11223344 {
+		t.Errorf("utrunc = %#x", got)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	m := compileAndLoad(t, `
+		long calls;
+		long probe(long v) { calls++; return v; }
+		long andTest(long a) { return probe(a) && probe(1); }
+		long orTest(long a) { return probe(a) || probe(0); }
+		long callCount(void) { return calls; }
+		void reset(void) { calls = 0; }
+	`)
+	callOK(t, m, "reset")
+	if got := callOK(t, m, "andTest", 0); got != 0 {
+		t.Errorf("0 && 1 = %d", got)
+	}
+	if got := callOK(t, m, "callCount"); got != 1 {
+		t.Errorf("short-circuit && evaluated both sides (calls=%d)", got)
+	}
+	callOK(t, m, "reset")
+	if got := callOK(t, m, "orTest", 5); got != 1 {
+		t.Errorf("5 || 0 = %d", got)
+	}
+	if got := callOK(t, m, "callCount"); got != 1 {
+		t.Errorf("short-circuit || evaluated both sides (calls=%d)", got)
+	}
+}
+
+func TestComparisonMaterialization(t *testing.T) {
+	m := compileAndLoad(t, `
+		long lt(long a, long b) { return a < b; }
+		long ltu(ulong a, ulong b) { return a < b; }
+		long eq(long a, long b) { return a == b; }
+		long notx(long a) { return !a; }
+	`)
+	if callOK(t, m, "lt", uint64(0xFFFFFFFFFFFFFFFF), 0) != 1 { // -1 < 0 signed
+		t.Error("signed lt")
+	}
+	if callOK(t, m, "ltu", uint64(0xFFFFFFFFFFFFFFFF), 0) != 0 { // max > 0 unsigned
+		t.Error("unsigned ltu")
+	}
+	if callOK(t, m, "eq", 4, 4) != 1 || callOK(t, m, "eq", 4, 5) != 0 {
+		t.Error("eq")
+	}
+	if callOK(t, m, "notx", 0) != 1 || callOK(t, m, "notx", 9) != 0 {
+		t.Error("notx")
+	}
+}
+
+func TestNestedCallsPreserveTemps(t *testing.T) {
+	m := compileAndLoad(t, `
+		long twice(long x) { return 2 * x; }
+		long deep(long a) { return a + twice(a + twice(a + 1)) + a; }
+	`)
+	// a=3: twice(4)=8; 3+8=11; twice(11)=22; 3+22+3=28.
+	if got := callOK(t, m, "deep", 3); got != 28 {
+		t.Errorf("deep = %d, want 28", got)
+	}
+}
+
+func TestSixArguments(t *testing.T) {
+	m := compileAndLoad(t, `
+		long six(long a, long b, long c, long d, long e, long f) {
+			return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+		}
+		long caller(void) { return six(1, 2, 3, 4, 5, 6); }
+	`)
+	want := uint64(1 + 4 + 9 + 16 + 25 + 36)
+	if got := callOK(t, m, "six", 1, 2, 3, 4, 5, 6); got != want {
+		t.Errorf("six = %d", got)
+	}
+	if got := callOK(t, m, "caller"); got != want {
+		t.Errorf("caller = %d", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	m := compileAndLoad(t, `
+		long fib(long n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+	`)
+	if got := callOK(t, m, "fib", 15); got != 610 {
+		t.Errorf("fib(15) = %d", got)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	m := compileAndLoad(t, `
+		long inc(long x) { return x + 1; }
+		long dec(long x) { return x - 1; }
+		long (*op)(long);
+		void useInc(void) { op = inc; }
+		void useDec(void) { op = &dec; }
+		long apply(long x) { return op(x); }
+	`)
+	callOK(t, m, "useInc")
+	if got := callOK(t, m, "apply", 10); got != 11 {
+		t.Errorf("apply inc = %d", got)
+	}
+	callOK(t, m, "useDec")
+	if got := callOK(t, m, "apply", 10); got != 9 {
+		t.Errorf("apply dec = %d", got)
+	}
+}
+
+func TestCrossUnitLinking(t *testing.T) {
+	m := compileAndLoad(t,
+		`extern long shared;
+		 long helper(long x);
+		 long entry(void) { return helper(shared) + 1; }`,
+		`long shared = 20;
+		 long helper(long x) { return x * 2; }`,
+	)
+	if got := callOK(t, m, "entry"); got != 41 {
+		t.Errorf("entry = %d", got)
+	}
+}
+
+func TestStaticsAreUnitLocal(t *testing.T) {
+	m := compileAndLoad(t,
+		`static long hidden = 1;
+		 long getA(void) { return hidden; }`,
+		`static long hidden = 2;
+		 long getB(void) { return hidden; }`,
+	)
+	if got := callOK(t, m, "getA"); got != 1 {
+		t.Errorf("getA = %d", got)
+	}
+	if got := callOK(t, m, "getB"); got != 2 {
+		t.Errorf("getB = %d", got)
+	}
+}
+
+func TestBuiltinsEndToEnd(t *testing.T) {
+	m := compileAndLoad(t, `
+		ulong lockword;
+		long tryLock(void) { return __xchg(&lockword, 1); }
+		void unlock(void) { lockword = 0; }
+		ulong stamp(void) { ulong a = __rdtsc(); ulong b = __rdtsc(); return b - a; }
+		void shout(void) { __outb(1, 'h'); __outb(1, 'i'); }
+	`)
+	if got := callOK(t, m, "tryLock"); got != 0 {
+		t.Errorf("first tryLock = %d", got)
+	}
+	if got := callOK(t, m, "tryLock"); got != 1 {
+		t.Errorf("second tryLock = %d", got)
+	}
+	callOK(t, m, "unlock")
+	if got := callOK(t, m, "tryLock"); got != 0 {
+		t.Errorf("tryLock after unlock = %d", got)
+	}
+	if got := callOK(t, m, "stamp"); got == 0 {
+		t.Error("rdtsc did not advance")
+	}
+	callOK(t, m, "shout")
+	if string(m.Console()) != "hi" {
+		t.Errorf("console = %q", m.Console())
+	}
+}
+
+func TestTernaryAndIncDec(t *testing.T) {
+	m := compileAndLoad(t, `
+		long pick(long c) { return c ? 111 : 222; }
+		long post(void) {
+			long i = 5;
+			long old = i++;
+			return old * 100 + i;
+		}
+		long postdec(void) {
+			long i = 5;
+			return i-- * 100 + i;
+		}
+	`)
+	if callOK(t, m, "pick", 1) != 111 || callOK(t, m, "pick", 0) != 222 {
+		t.Error("ternary")
+	}
+	if got := callOK(t, m, "post"); got != 506 {
+		t.Errorf("post = %d", got)
+	}
+	if got := callOK(t, m, "postdec"); got != 504 {
+		t.Errorf("postdec = %d", got)
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	m := compileAndLoad(t, `
+		long strlen_(char* s) {
+			long n = 0;
+			while (s[n]) { n++; }
+			return n;
+		}
+		long hello(void) { return strlen_("hello"); }
+	`)
+	if got := callOK(t, m, "hello"); got != 5 {
+		t.Errorf("strlen(hello) = %d", got)
+	}
+}
+
+func TestMultiverseCallSitesRecorded(t *testing.T) {
+	u, err := cc.Parse("t.mvc", `
+		multiverse int flag;
+		multiverse void mvfn(void) { if (flag) {} }
+		void a(void) { mvfn(); }
+		void b(void) { mvfn(); mvfn(); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Check(u); err != nil {
+		t.Fatal(err)
+	}
+	o, err := Compile(ProgramFromUnit(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs *obj.Section
+	for _, s := range o.Sections {
+		if s.Name == obj.SecMVCallSites {
+			cs = s
+		}
+	}
+	if cs == nil {
+		t.Fatal("no callsites section")
+	}
+	if len(cs.Data) != 3*CallSiteSize {
+		t.Errorf("callsites bytes = %d, want %d", len(cs.Data), 3*CallSiteSize)
+	}
+	// Variable descriptor section must hold one 32-byte record.
+	for _, s := range o.Sections {
+		if s.Name == obj.SecMVVars && len(s.Data) != VarDescSize {
+			t.Errorf("variables bytes = %d, want %d", len(s.Data), VarDescSize)
+		}
+	}
+}
+
+func TestFnPtrSwitchCallSiteRecorded(t *testing.T) {
+	u, err := cc.Parse("t.mvc", `
+		void native(void) { }
+		multiverse void (*pvop)(void);
+		void irq(void) { pvop(); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Check(u); err != nil {
+		t.Fatal(err)
+	}
+	o, err := Compile(ProgramFromUnit(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range o.Sections {
+		if s.Name == obj.SecMVCallSites && len(s.Data) == CallSiteSize {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("indirect multiverse call site not recorded")
+	}
+}
+
+func TestNoScratchConventionPreservesRegisters(t *testing.T) {
+	// A no-scratch callee must leave every scratch register intact, so
+	// the caller's live temporaries survive without caller saves.
+	m := compileAndLoad(t, `
+		long g;
+		noscratch void clobber(void) {
+			long a = 1; long b = 2; long c = 3;
+			g = a + b + c;
+		}
+		long caller(long x) {
+			long t = x * 7;
+			clobber();
+			return t + g;
+		}
+	`)
+	if got := callOK(t, m, "caller", 3); got != 3*7+6 {
+		t.Errorf("caller = %d, want %d", got, 3*7+6)
+	}
+}
+
+func TestDescriptorBytesFormula(t *testing.T) {
+	// 2 switches, 10 call sites, one function with 2 variants of 1 and
+	// 2 guards: 2*32 + 10*16 + 48 + (32+16) + (32+32) = 64+160+48+48+64.
+	got := DescriptorBytes(2, 10, [][]int{{1, 2}})
+	want := 2*32 + 10*16 + 48 + (32 + 1*16) + (32 + 2*16)
+	if got != want {
+		t.Errorf("DescriptorBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEnumsInCode(t *testing.T) {
+	m := compileAndLoad(t, `
+		enum Mode { ASCII, UTF8, OTHER };
+		enum Mode mode;
+		void setMode(int m) { mode = (int)m; }
+		long isUtf8(void) { return mode == UTF8; }
+	`)
+	callOK(t, m, "setMode", 1)
+	if got := callOK(t, m, "isUtf8"); got != 1 {
+		t.Errorf("isUtf8 = %d", got)
+	}
+	callOK(t, m, "setMode", 2)
+	if got := callOK(t, m, "isUtf8"); got != 0 {
+		t.Errorf("isUtf8 = %d", got)
+	}
+}
+
+func TestGlobalCharArrayAndLoop(t *testing.T) {
+	m := compileAndLoad(t, `
+		char text[64];
+		void put(long i, int c) { text[i] = (char)c; }
+		long countA(long n) {
+			long hits = 0;
+			for (long i = 0; i < n; i++) {
+				if (text[i] == 'a') { hits++; }
+			}
+			return hits;
+		}
+	`)
+	callOK(t, m, "put", 0, 'a')
+	callOK(t, m, "put", 1, 'b')
+	callOK(t, m, "put", 2, 'a')
+	if got := callOK(t, m, "countA", 3); got != 2 {
+		t.Errorf("countA = %d", got)
+	}
+}

@@ -1,0 +1,689 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/cc"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// movSym loads the absolute address of a symbol into r via an Abs64
+// relocation on a MOVI immediate.
+func (fe *fnEmitter) movSym(r isa.Reg, sym string) {
+	at := fe.asm().Len()
+	fe.asm().Movi(r, 0)
+	fe.e.o.AddReloc(obj.Reloc{
+		Section: obj.SecText,
+		Offset:  uint64(at + 2),
+		Type:    obj.RelocAbs64,
+		Symbol:  sym,
+	})
+}
+
+// location describes an addressable memory slot.
+type location struct {
+	base    isa.Reg
+	disp    int32
+	size    int
+	signed  bool
+	ownBase bool // base register must be freed after use
+}
+
+func (fe *fnEmitter) freeLoc(l location) {
+	if l.ownBase {
+		fe.free(l.base)
+	}
+}
+
+// locOf resolves an lvalue to a location.
+func (fe *fnEmitter) locOf(x cc.Expr) (location, error) {
+	switch x := x.(type) {
+	case *cc.VarRef:
+		sym := x.Sym
+		size, signed := accessInfo(sym.Type)
+		switch sym.Storage {
+		case cc.StorageLocal, cc.StorageParam:
+			return location{base: FP, disp: fe.slots[sym], size: size, signed: signed}, nil
+		default:
+			r, err := fe.alloc()
+			if err != nil {
+				return location{}, err
+			}
+			fe.movSym(r, fe.e.symName(sym))
+			return location{base: r, size: size, signed: signed, ownBase: true}, nil
+		}
+
+	case *cc.Unary: // *p
+		if x.Op != "*" {
+			break
+		}
+		r, err := fe.expr(x.X)
+		if err != nil {
+			return location{}, err
+		}
+		size, signed := accessInfo(x.Type())
+		return location{base: r, size: size, signed: signed, ownBase: true}, nil
+
+	case *cc.Index:
+		r, err := fe.indexAddr(x)
+		if err != nil {
+			return location{}, err
+		}
+		size, signed := accessInfo(x.Type())
+		return location{base: r, size: size, signed: signed, ownBase: true}, nil
+	}
+	return location{}, fmt.Errorf("not an lvalue: %T", x)
+}
+
+// indexAddr computes &base[idx] into a fresh register.
+func (fe *fnEmitter) indexAddr(x *cc.Index) (isa.Reg, error) {
+	rb, err := fe.expr(x.Base)
+	if err != nil {
+		return 0, err
+	}
+	elem := x.Base.Type().Elem.ByteSize()
+	// Constant index: fold into the displacement-free add.
+	if lit, ok := x.Idx.(*cc.IntLit); ok {
+		off := lit.Value * elem
+		if off != 0 {
+			if off >= math.MinInt32 && off <= math.MaxInt32 {
+				fe.asm().AluI(isa.ADDI, rb, int32(off))
+			} else {
+				ri, err := fe.alloc()
+				if err != nil {
+					return 0, err
+				}
+				fe.asm().Movi(ri, off)
+				fe.asm().Alu(isa.ADD, rb, ri)
+				fe.free(ri)
+			}
+		}
+		return rb, nil
+	}
+	ri, err := fe.expr(x.Idx)
+	if err != nil {
+		return 0, err
+	}
+	fe.scale(ri, elem)
+	fe.asm().Alu(isa.ADD, rb, ri)
+	fe.free(ri)
+	return rb, nil
+}
+
+// scale multiplies r by a positive element size.
+func (fe *fnEmitter) scale(r isa.Reg, elem int64) {
+	switch {
+	case elem == 1:
+	case elem > 0 && elem&(elem-1) == 0:
+		fe.asm().AluI(isa.SHLI, r, int32(bits.TrailingZeros64(uint64(elem))))
+	default:
+		fe.asm().AluI(isa.MULI, r, int32(elem))
+	}
+}
+
+func (fe *fnEmitter) load(l location) (isa.Reg, error) {
+	r, err := fe.alloc()
+	if err != nil {
+		return 0, err
+	}
+	if l.signed {
+		fe.asm().Lds(r, l.base, l.size, l.disp)
+	} else {
+		fe.asm().Ld(r, l.base, l.size, l.disp)
+	}
+	return r, nil
+}
+
+func (fe *fnEmitter) store(l location, r isa.Reg) {
+	fe.asm().St(l.base, r, l.size, l.disp)
+}
+
+// expr evaluates x into a freshly allocated register.
+func (fe *fnEmitter) expr(x cc.Expr) (isa.Reg, error) {
+	switch x := x.(type) {
+	case *cc.IntLit:
+		r, err := fe.alloc()
+		if err != nil {
+			return 0, err
+		}
+		fe.asm().Movi(r, x.Value)
+		return r, nil
+
+	case *cc.StrLit:
+		r, err := fe.alloc()
+		if err != nil {
+			return 0, err
+		}
+		fe.movSym(r, fe.e.strSym(x.Value))
+		return r, nil
+
+	case *cc.VarRef:
+		sym := x.Sym
+		// Function designators and arrays evaluate to their address.
+		if sym.Func != nil || sym.Type.Kind == cc.KindArray {
+			r, err := fe.alloc()
+			if err != nil {
+				return 0, err
+			}
+			fe.movSym(r, fe.e.symName(sym))
+			return r, nil
+		}
+		loc, err := fe.locOf(x)
+		if err != nil {
+			return 0, err
+		}
+		if !loc.ownBase {
+			return fe.load(loc)
+		}
+		// Reuse the address register for the value.
+		if loc.signed {
+			fe.asm().Lds(loc.base, loc.base, loc.size, loc.disp)
+		} else {
+			fe.asm().Ld(loc.base, loc.base, loc.size, loc.disp)
+		}
+		return loc.base, nil
+
+	case *cc.Unary:
+		return fe.unary(x)
+
+	case *cc.Binary:
+		return fe.binary(x)
+
+	case *cc.Assign:
+		if err := fe.assign(x, true); err != nil {
+			return 0, err
+		}
+		return fe.vstack[len(fe.vstack)-1], nil
+
+	case *cc.IncDec:
+		if err := fe.incDec(x, true); err != nil {
+			return 0, err
+		}
+		return fe.vstack[len(fe.vstack)-1], nil
+
+	case *cc.Call:
+		r, err := fe.call(x)
+		if err != nil {
+			return 0, err
+		}
+		if r < 0 {
+			return 0, fmt.Errorf("void call used as a value")
+		}
+		return isa.Reg(r), nil
+
+	case *cc.Index:
+		loc, err := fe.locOf(x)
+		if err != nil {
+			return 0, err
+		}
+		if loc.signed {
+			fe.asm().Lds(loc.base, loc.base, loc.size, loc.disp)
+		} else {
+			fe.asm().Ld(loc.base, loc.base, loc.size, loc.disp)
+		}
+		return loc.base, nil
+
+	case *cc.Cast:
+		return fe.cast(x)
+
+	case *cc.Cond:
+		r, err := fe.alloc()
+		if err != nil {
+			return 0, err
+		}
+		elseL := fe.newLabel()
+		endL := fe.newLabel()
+		if err := fe.cond(x.C, false, elseL); err != nil {
+			return 0, err
+		}
+		rt, err := fe.expr(x.T)
+		if err != nil {
+			return 0, err
+		}
+		if rt != r {
+			fe.asm().Mov(r, rt)
+		}
+		fe.free(rt)
+		fe.jump(endL)
+		fe.place(elseL)
+		rf, err := fe.expr(x.F)
+		if err != nil {
+			return 0, err
+		}
+		if rf != r {
+			fe.asm().Mov(r, rf)
+		}
+		fe.free(rf)
+		fe.place(endL)
+		return r, nil
+
+	case *cc.Builtin:
+		r, err := fe.builtin(x)
+		if err != nil {
+			return 0, err
+		}
+		if r < 0 {
+			return 0, fmt.Errorf("void builtin %s used as a value", x.Name)
+		}
+		return isa.Reg(r), nil
+	}
+	return 0, fmt.Errorf("codegen: unknown expression %T", x)
+}
+
+func (fe *fnEmitter) unary(x *cc.Unary) (isa.Reg, error) {
+	switch x.Op {
+	case "-", "~":
+		r, err := fe.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "-" {
+			fe.asm().Alu(isa.NEG, r, 0)
+		} else {
+			fe.asm().Alu(isa.NOT, r, 0)
+		}
+		return r, nil
+
+	case "!":
+		r, err := fe.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		fe.asm().CmpI(r, 0)
+		fe.asm().SetCC(r, isa.EQ)
+		return r, nil
+
+	case "*":
+		loc, err := fe.locOf(x)
+		if err != nil {
+			return 0, err
+		}
+		if loc.signed {
+			fe.asm().Lds(loc.base, loc.base, loc.size, loc.disp)
+		} else {
+			fe.asm().Ld(loc.base, loc.base, loc.size, loc.disp)
+		}
+		return loc.base, nil
+
+	case "&":
+		return fe.addrOf(x.X)
+	}
+	return 0, fmt.Errorf("codegen: unary %q", x.Op)
+}
+
+// addrOf evaluates &x.
+func (fe *fnEmitter) addrOf(x cc.Expr) (isa.Reg, error) {
+	switch x := x.(type) {
+	case *cc.VarRef:
+		sym := x.Sym
+		switch sym.Storage {
+		case cc.StorageLocal, cc.StorageParam:
+			r, err := fe.alloc()
+			if err != nil {
+				return 0, err
+			}
+			fe.asm().Lea(r, FP, fe.slots[sym])
+			return r, nil
+		default:
+			r, err := fe.alloc()
+			if err != nil {
+				return 0, err
+			}
+			fe.movSym(r, fe.e.symName(sym))
+			return r, nil
+		}
+	case *cc.Unary:
+		if x.Op == "*" {
+			return fe.expr(x.X)
+		}
+	case *cc.Index:
+		return fe.indexAddr(x)
+	}
+	return 0, fmt.Errorf("cannot take address of %T", x)
+}
+
+// immALUOp maps a binary operator to its immediate-form opcode when
+// the operand signedness allows it (div/mod/shr depend on sign).
+func immALUOp(op string, unsigned bool) (isa.Op, bool) {
+	switch op {
+	case "+":
+		return isa.ADDI, true
+	case "-":
+		return isa.SUBI, true
+	case "*":
+		return isa.MULI, true
+	case "&":
+		return isa.ANDI, true
+	case "|":
+		return isa.ORI, true
+	case "^":
+		return isa.XORI, true
+	case "<<":
+		return isa.SHLI, true
+	case ">>":
+		if unsigned {
+			return isa.SHRI, true
+		}
+		return isa.SARI, true
+	case "/":
+		if !unsigned {
+			return isa.DIVI, true
+		}
+	case "%":
+		if !unsigned {
+			return isa.MODI, true
+		}
+	}
+	return 0, false
+}
+
+func regALUOp(op string, unsigned bool) isa.Op {
+	switch op {
+	case "+":
+		return isa.ADD
+	case "-":
+		return isa.SUB
+	case "*":
+		return isa.MUL
+	case "&":
+		return isa.AND
+	case "|":
+		return isa.OR
+	case "^":
+		return isa.XOR
+	case "<<":
+		return isa.SHL
+	case ">>":
+		if unsigned {
+			return isa.SHR
+		}
+		return isa.SAR
+	case "/":
+		if unsigned {
+			return isa.UDIV
+		}
+		return isa.DIV
+	case "%":
+		if unsigned {
+			return isa.UMOD
+		}
+		return isa.MOD
+	}
+	panic("codegen: not an ALU operator: " + op)
+}
+
+func (fe *fnEmitter) binary(x *cc.Binary) (isa.Reg, error) {
+	if isCompare(x.Op) {
+		rx, err := fe.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		unsigned := unsignedCompare(x.X, x.Y)
+		if lit, ok := x.Y.(*cc.IntLit); ok && fitsI32(lit.Value) {
+			fe.asm().CmpI(rx, int32(lit.Value))
+		} else {
+			ry, err := fe.expr(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			fe.asm().Cmp(rx, ry)
+			fe.free(ry)
+		}
+		fe.asm().SetCC(rx, condCode(x.Op, unsigned))
+		return rx, nil
+	}
+
+	if x.Op == "&&" || x.Op == "||" {
+		r, err := fe.alloc()
+		if err != nil {
+			return 0, err
+		}
+		falseL := fe.newLabel()
+		endL := fe.newLabel()
+		if err := fe.cond(x, false, falseL); err != nil {
+			return 0, err
+		}
+		fe.asm().Movi(r, 1)
+		fe.jump(endL)
+		fe.place(falseL)
+		fe.asm().Movi(r, 0)
+		fe.place(endL)
+		return r, nil
+	}
+
+	xt, yt := x.X.Type(), x.Y.Type()
+
+	// Pointer arithmetic.
+	if xt.Kind == cc.KindPtr || yt.Kind == cc.KindPtr {
+		switch {
+		case xt.Kind == cc.KindPtr && yt.Kind == cc.KindPtr: // ptr - ptr
+			rx, err := fe.expr(x.X)
+			if err != nil {
+				return 0, err
+			}
+			ry, err := fe.expr(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			fe.asm().Alu(isa.SUB, rx, ry)
+			fe.free(ry)
+			elem := xt.Elem.ByteSize()
+			switch {
+			case elem == 1:
+			case elem > 0 && elem&(elem-1) == 0:
+				fe.asm().AluI(isa.SARI, rx, int32(bits.TrailingZeros64(uint64(elem))))
+			default:
+				fe.asm().AluI(isa.DIVI, rx, int32(elem))
+			}
+			return rx, nil
+
+		case xt.Kind == cc.KindPtr: // ptr +- int
+			rx, err := fe.expr(x.X)
+			if err != nil {
+				return 0, err
+			}
+			elem := xt.Elem.ByteSize()
+			if lit, ok := x.Y.(*cc.IntLit); ok && fitsI32(lit.Value*elem) {
+				off := int32(lit.Value * elem)
+				if x.Op == "-" {
+					off = -off
+				}
+				if off != 0 {
+					fe.asm().AluI(isa.ADDI, rx, off)
+				}
+				return rx, nil
+			}
+			ry, err := fe.expr(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			fe.scale(ry, elem)
+			if x.Op == "+" {
+				fe.asm().Alu(isa.ADD, rx, ry)
+			} else {
+				fe.asm().Alu(isa.SUB, rx, ry)
+			}
+			fe.free(ry)
+			return rx, nil
+
+		default: // int + ptr
+			ry, err := fe.expr(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			rx, err := fe.expr(x.X)
+			if err != nil {
+				return 0, err
+			}
+			fe.scale(rx, yt.Elem.ByteSize())
+			fe.asm().Alu(isa.ADD, ry, rx)
+			fe.free(rx)
+			return ry, nil
+		}
+	}
+
+	unsigned := !x.Type().IsSigned()
+	rx, err := fe.expr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	if lit, ok := x.Y.(*cc.IntLit); ok && fitsI32(lit.Value) {
+		if op, ok := immALUOp(x.Op, unsigned); ok && !(lit.Value == 0 && (x.Op == "/" || x.Op == "%")) {
+			fe.asm().AluI(op, rx, int32(lit.Value))
+			return rx, nil
+		}
+	}
+	ry, err := fe.expr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	fe.asm().Alu(regALUOp(x.Op, unsigned), rx, ry)
+	fe.free(ry)
+	return rx, nil
+}
+
+func fitsI32(v int64) bool {
+	return v >= math.MinInt32 && v <= math.MaxInt32
+}
+
+// assign emits lhs op= rhs; when needValue is true the stored value is
+// left on the vstack.
+func (fe *fnEmitter) assign(x *cc.Assign, needValue bool) error {
+	loc, err := fe.locOf(x.LHS)
+	if err != nil {
+		return err
+	}
+	var r isa.Reg
+	if x.Op == "=" {
+		r, err = fe.expr(x.RHS)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Compound: load, combine, store.
+		r, err = fe.load(loc)
+		if err != nil {
+			return err
+		}
+		op := x.Op[:len(x.Op)-1]
+		lt := x.LHS.Type()
+		if lt.Kind == cc.KindPtr {
+			// p += n / p -= n with scaling.
+			ry, err := fe.expr(x.RHS)
+			if err != nil {
+				return err
+			}
+			fe.scale(ry, lt.Elem.ByteSize())
+			if op == "+" {
+				fe.asm().Alu(isa.ADD, r, ry)
+			} else {
+				fe.asm().Alu(isa.SUB, r, ry)
+			}
+			fe.free(ry)
+		} else {
+			unsigned := !cc.Common(lt, x.RHS.Type()).IsSigned()
+			if lit, ok := x.RHS.(*cc.IntLit); ok && fitsI32(lit.Value) {
+				if iop, ok := immALUOp(op, unsigned); ok && !(lit.Value == 0 && (op == "/" || op == "%")) {
+					fe.asm().AluI(iop, r, int32(lit.Value))
+					goto stored
+				}
+			}
+			{
+				ry, err := fe.expr(x.RHS)
+				if err != nil {
+					return err
+				}
+				fe.asm().Alu(regALUOp(op, unsigned), r, ry)
+				fe.free(ry)
+			}
+		}
+	}
+stored:
+	fe.store(loc, r)
+	if loc.ownBase {
+		// Free the base but keep the value register live if requested.
+		fe.free(loc.base)
+	}
+	if !needValue {
+		fe.free(r)
+	}
+	return nil
+}
+
+// incDec emits x++ / x-- / ++x / --x; when needValue is true the old
+// (postfix) or new (prefix) value is left on the vstack.
+func (fe *fnEmitter) incDec(x *cc.IncDec, needValue bool) error {
+	loc, err := fe.locOf(x.X)
+	if err != nil {
+		return err
+	}
+	r, err := fe.load(loc)
+	if err != nil {
+		return err
+	}
+	var old isa.Reg
+	saveOld := needValue && !x.Prefix
+	if saveOld {
+		old, err = fe.alloc()
+		if err != nil {
+			return err
+		}
+		fe.asm().Mov(old, r)
+	}
+	step := int64(1)
+	if t := x.X.Type(); t.Kind == cc.KindPtr {
+		step = t.Elem.ByteSize()
+	}
+	if x.Op == "++" {
+		fe.asm().AluI(isa.ADDI, r, int32(step))
+	} else {
+		fe.asm().AluI(isa.SUBI, r, int32(step))
+	}
+	fe.store(loc, r)
+	if needValue && x.Prefix {
+		// Prefix: the updated value is the result; keep r live.
+		fe.freeLoc(loc)
+		fe.free(r)
+		fe.vstack = append(fe.vstack, r)
+		return nil
+	}
+	fe.free(r)
+	fe.freeLoc(loc)
+	if saveOld {
+		// Move the old value to the top of the vstack bookkeeping.
+		fe.free(old)
+		fe.vstack = append(fe.vstack, old)
+	}
+	return nil
+}
+
+func (fe *fnEmitter) cast(x *cc.Cast) (isa.Reg, error) {
+	r, err := fe.expr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	to := x.To
+	if to.Kind == cc.KindBool {
+		fe.asm().CmpI(r, 0)
+		fe.asm().SetCC(r, isa.NE)
+		return r, nil
+	}
+	if !to.IsInteger() {
+		return r, nil // pointer casts are free
+	}
+	size := to.ByteSize()
+	if size >= 8 {
+		return r, nil
+	}
+	sh := int32(64 - 8*size)
+	fe.asm().AluI(isa.SHLI, r, sh)
+	if to.IsSigned() {
+		fe.asm().AluI(isa.SARI, r, sh)
+	} else {
+		fe.asm().AluI(isa.SHRI, r, sh)
+	}
+	return r, nil
+}

@@ -1,0 +1,199 @@
+package codegen
+
+import "testing"
+
+func TestSwitchDispatch(t *testing.T) {
+	m := compileAndLoad(t, `
+		long classify(long x) {
+			switch (x) {
+			case 1:
+				return 100;
+			case 2:
+				return 200;
+			case -3:
+				return 300;
+			default:
+				return 999;
+			}
+		}
+	`)
+	cases := map[int64]uint64{1: 100, 2: 200, -3: 300, 7: 999, 0: 999}
+	for in, want := range cases {
+		if got := callOK(t, m, "classify", uint64(in)); got != want {
+			t.Errorf("classify(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	m := compileAndLoad(t, `
+		long acc;
+		long fall(long x) {
+			acc = 0;
+			switch (x) {
+			case 1:
+				acc += 1;
+			case 2:
+				acc += 10;
+			case 3:
+				acc += 100;
+				break;
+			case 4:
+				acc += 1000;
+			}
+			return acc;
+		}
+	`)
+	cases := map[uint64]uint64{1: 111, 2: 110, 3: 100, 4: 1000, 9: 0}
+	for in, want := range cases {
+		if got := callOK(t, m, "fall", in); got != want {
+			t.Errorf("fall(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	m := compileAndLoad(t, `
+		long f(long x) {
+			long r = 7;
+			switch (x) {
+			case 1:
+				r = 1;
+				break;
+			}
+			return r;
+		}
+	`)
+	if got := callOK(t, m, "f", 1); got != 1 {
+		t.Errorf("f(1) = %d", got)
+	}
+	if got := callOK(t, m, "f", 5); got != 7 {
+		t.Errorf("f(5) = %d", got)
+	}
+}
+
+func TestSwitchInsideLoopContinue(t *testing.T) {
+	// continue inside a switch must bind to the loop, break to the
+	// switch.
+	m := compileAndLoad(t, `
+		long f(long n) {
+			long sum = 0;
+			for (long i = 0; i < n; i++) {
+				switch (i % 3) {
+				case 0:
+					continue;
+				case 1:
+					sum += 10;
+					break;
+				default:
+					sum += 1;
+				}
+				sum += 100;
+			}
+			return sum;
+		}
+	`)
+	// i=0: continue. i=1: +10 +100. i=2: +1 +100. i=3: continue.
+	// i=4: +10+100. i=5: +1+100.
+	if got := callOK(t, m, "f", 6); got != 2*(110+101) {
+		t.Errorf("f(6) = %d, want %d", got, 2*(110+101))
+	}
+}
+
+func TestNestedSwitches(t *testing.T) {
+	m := compileAndLoad(t, `
+		long f(long a, long b) {
+			switch (a) {
+			case 1:
+				switch (b) {
+				case 1: return 11;
+				default: return 19;
+				}
+			case 2:
+				return 20;
+			}
+			return 0;
+		}
+	`)
+	if callOK(t, m, "f", 1, 1) != 11 || callOK(t, m, "f", 1, 5) != 19 ||
+		callOK(t, m, "f", 2, 0) != 20 || callOK(t, m, "f", 9, 9) != 0 {
+		t.Error("nested switch dispatch wrong")
+	}
+}
+
+func TestSwitchOnEnum(t *testing.T) {
+	m := compileAndLoad(t, `
+		enum Mode { ASCII, UTF8, BINARY = 10 };
+		long name(int m) {
+			switch (m) {
+			case ASCII: return 'a';
+			case UTF8: return 'u';
+			case BINARY: return 'b';
+			}
+			return '?';
+		}
+	`)
+	if callOK(t, m, "name", 0) != 'a' || callOK(t, m, "name", 1) != 'u' ||
+		callOK(t, m, "name", 10) != 'b' || callOK(t, m, "name", 3) != '?' {
+		t.Error("enum switch wrong")
+	}
+}
+
+func TestSwitchCaseLocals(t *testing.T) {
+	m := compileAndLoad(t, `
+		long f(long x) {
+			switch (x) {
+			case 1: {
+				long t = x * 2;
+				return t;
+			}
+			default: {
+				long t = x * 3;
+				return t;
+			}
+			}
+		}
+	`)
+	if callOK(t, m, "f", 1) != 2 || callOK(t, m, "f", 4) != 12 {
+		t.Error("case-local declarations wrong")
+	}
+}
+
+func TestPrefixIncDec(t *testing.T) {
+	m := compileAndLoad(t, `
+		long pre(void) {
+			long i = 5;
+			long v = ++i;
+			return v * 100 + i;
+		}
+		long predec(void) {
+			long i = 5;
+			return --i * 100 + i;
+		}
+		long arr[2];
+		long preptr(void) {
+			long* p = arr;
+			long* q = arr;
+			++p;
+			return p - q;
+		}
+		long mixed(void) {
+			long i = 0;
+			long a = i++ + ++i;
+			return a * 10 + i;
+		}
+	`)
+	if got := callOK(t, m, "pre"); got != 606 {
+		t.Errorf("pre = %d, want 606", got)
+	}
+	if got := callOK(t, m, "predec"); got != 404 {
+		t.Errorf("predec = %d, want 404", got)
+	}
+	if got := callOK(t, m, "preptr"); got != 1 {
+		t.Errorf("preptr = %d, want 1", got)
+	}
+	// i++ evaluates to 0 (i becomes 1), ++i evaluates to 2: a=2, i=2.
+	if got := callOK(t, m, "mixed"); got != 22 {
+		t.Errorf("mixed = %d, want 22", got)
+	}
+}

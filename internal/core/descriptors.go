@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/link"
+	"repro/internal/obj"
+)
+
+// VarDesc is the decoded form of a multiverse.variables record.
+type VarDesc struct {
+	Addr   uint64
+	Width  int
+	Signed bool
+	FnPtr  bool
+	Name   string
+}
+
+// GuardDesc restricts one switch to [Lo, Hi].
+type GuardDesc struct {
+	VarAddr uint64
+	Lo, Hi  int32
+}
+
+// VariantDesc is one selectable function variant.
+type VariantDesc struct {
+	Addr   uint64
+	Size   uint64
+	Guards []GuardDesc
+}
+
+// FuncDesc is the decoded form of a multiverse.functions record.
+type FuncDesc struct {
+	Generic  uint64
+	Size     uint64
+	Name     string
+	Variants []VariantDesc
+}
+
+// CallSiteDesc is the decoded form of a multiverse.callsites record.
+type CallSiteDesc struct {
+	Addr   uint64 // address of the 5-byte call instruction
+	Callee uint64 // generic function or switch-variable address
+}
+
+// Descriptors holds every decoded multiverse record of an image.
+type Descriptors struct {
+	Vars  []VarDesc
+	Funcs []FuncDesc
+	Sites []CallSiteDesc
+}
+
+// readCString reads a NUL-terminated string.
+func readCString(p Platform, addr uint64) (string, error) {
+	if addr == 0 {
+		return "", nil
+	}
+	var out []byte
+	var buf [1]byte
+	for len(out) < 4096 {
+		if err := p.Read(addr+uint64(len(out)), buf[:]); err != nil {
+			return "", err
+		}
+		if buf[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, buf[0])
+	}
+	return "", fmt.Errorf("core: unterminated descriptor string at %#x", addr)
+}
+
+// DecodeDescriptors reads the multiverse descriptor sections of a
+// loaded image through the platform. This is what the run-time
+// library does at startup: the linker has already concatenated the
+// per-unit records and resolved their address fields.
+func DecodeDescriptors(img *link.Image, p Platform) (*Descriptors, error) {
+	d := &Descriptors{}
+	read := func(sec string) ([]byte, error) {
+		r, ok := img.Sections[sec]
+		if !ok || r.Size == 0 {
+			return nil, nil
+		}
+		buf := make([]byte, r.Size)
+		if err := p.Read(r.Addr, buf); err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", sec, err)
+		}
+		return buf, nil
+	}
+	u32 := binary.LittleEndian.Uint32
+	u64 := binary.LittleEndian.Uint64
+
+	vars, err := read(obj.SecMVVars)
+	if err != nil {
+		return nil, err
+	}
+	if len(vars)%codegen.VarDescSize != 0 {
+		return nil, fmt.Errorf("core: variables section size %d not a multiple of %d", len(vars), codegen.VarDescSize)
+	}
+	for off := 0; off < len(vars); off += codegen.VarDescSize {
+		rec := vars[off:]
+		flags := u32(rec[12:])
+		name, err := readCString(p, u64(rec[16:]))
+		if err != nil {
+			return nil, err
+		}
+		d.Vars = append(d.Vars, VarDesc{
+			Addr:   u64(rec[0:]),
+			Width:  int(u32(rec[8:])),
+			Signed: flags&codegen.VarFlagSigned != 0,
+			FnPtr:  flags&codegen.VarFlagFnPtr != 0,
+			Name:   name,
+		})
+	}
+
+	funcs, err := read(obj.SecMVFuncs)
+	if err != nil {
+		return nil, err
+	}
+	for off := 0; off < len(funcs); {
+		if off+codegen.FuncDescSize > len(funcs) {
+			return nil, fmt.Errorf("core: truncated function descriptor at %d", off)
+		}
+		rec := funcs[off:]
+		nvar := int(u32(rec[16:]))
+		name, err := readCString(p, u64(rec[8:]))
+		if err != nil {
+			return nil, err
+		}
+		fd := FuncDesc{
+			Generic: u64(rec[0:]),
+			Size:    u64(rec[24:]),
+			Name:    name,
+		}
+		off += codegen.FuncDescSize
+		for i := 0; i < nvar; i++ {
+			if off+codegen.VariantDescSize > len(funcs) {
+				return nil, fmt.Errorf("core: truncated variant descriptor in %q", name)
+			}
+			vrec := funcs[off:]
+			nguards := int(u32(vrec[16:]))
+			v := VariantDesc{Addr: u64(vrec[0:]), Size: u64(vrec[8:])}
+			off += codegen.VariantDescSize
+			for g := 0; g < nguards; g++ {
+				if off+codegen.GuardDescSize > len(funcs) {
+					return nil, fmt.Errorf("core: truncated guard descriptor in %q", name)
+				}
+				grec := funcs[off:]
+				v.Guards = append(v.Guards, GuardDesc{
+					VarAddr: u64(grec[0:]),
+					Lo:      int32(u32(grec[8:])),
+					Hi:      int32(u32(grec[12:])),
+				})
+				off += codegen.GuardDescSize
+			}
+			fd.Variants = append(fd.Variants, v)
+		}
+		d.Funcs = append(d.Funcs, fd)
+	}
+
+	sites, err := read(obj.SecMVCallSites)
+	if err != nil {
+		return nil, err
+	}
+	if len(sites)%codegen.CallSiteSize != 0 {
+		return nil, fmt.Errorf("core: callsites section size %d not a multiple of %d", len(sites), codegen.CallSiteSize)
+	}
+	for off := 0; off < len(sites); off += codegen.CallSiteSize {
+		rec := sites[off:]
+		d.Sites = append(d.Sites, CallSiteDesc{
+			Addr:   u64(rec[0:]),
+			Callee: u64(rec[8:]),
+		})
+	}
+	return d, nil
+}

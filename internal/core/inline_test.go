@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestInlinePayloadEmptyBody(t *testing.T) {
+	var a isa.Asm
+	a.Ret()
+	payload, ok := inlinePayload(a.Bytes())
+	if !ok || len(payload) != 0 {
+		t.Errorf("RET-only body: payload=%x ok=%v", payload, ok)
+	}
+}
+
+func TestInlinePayloadSingleInstruction(t *testing.T) {
+	var a isa.Asm
+	a.Sti()
+	a.Ret()
+	payload, ok := inlinePayload(a.Bytes())
+	if !ok || len(payload) != 1 || isa.Op(payload[0]) != isa.STI {
+		t.Errorf("sti body: payload=%x ok=%v", payload, ok)
+	}
+}
+
+func TestInlinePayloadSkipsNops(t *testing.T) {
+	var a isa.Asm
+	a.Nop(20) // no-scratch placeholder collapsed to one wide NOP
+	a.Cli()
+	a.Nop(2)
+	a.Ret()
+	payload, ok := inlinePayload(a.Bytes())
+	if !ok || len(payload) != 1 || isa.Op(payload[0]) != isa.CLI {
+		t.Errorf("nop-padded body: payload=%x ok=%v", payload, ok)
+	}
+}
+
+func TestInlinePayloadRejectsControlFlowAndStack(t *testing.T) {
+	cases := map[string]func(a *isa.Asm){
+		"call":     func(a *isa.Asm) { a.Call(0) },
+		"jmp":      func(a *isa.Asm) { a.Jmp(0) },
+		"jcc":      func(a *isa.Asm) { a.Jcc(isa.EQ, 0) },
+		"push":     func(a *isa.Asm) { a.Push(1) },
+		"pop":      func(a *isa.Asm) { a.Pop(1) },
+		"spadd":    func(a *isa.Asm) { a.SpAdd(-8) },
+		"callr":    func(a *isa.Asm) { a.CallR(1) },
+		"sp-read":  func(a *isa.Asm) { a.Mov(0, isa.SP) },
+		"sp-write": func(a *isa.Asm) { a.Mov(isa.SP, 0) },
+		"sp-load":  func(a *isa.Asm) { a.Ld(0, isa.SP, 8, 0) },
+		"hlt":      func(a *isa.Asm) { a.Hlt() },
+	}
+	for name, emit := range cases {
+		var a isa.Asm
+		emit(&a)
+		a.Ret()
+		if _, ok := inlinePayload(a.Bytes()); ok {
+			t.Errorf("%s body reported inlinable", name)
+		}
+	}
+}
+
+func TestInlinePayloadRejectsOversized(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 1) // 10 bytes > 5
+	a.Ret()
+	if _, ok := inlinePayload(a.Bytes()); ok {
+		t.Error("10-byte instruction reported inlinable")
+	}
+	// Exactly at the limit: cli(1)+sti(1)+pause(1)+cli(1)+sti(1) = 5.
+	var b isa.Asm
+	b.Cli()
+	b.Sti()
+	b.Pause()
+	b.Cli()
+	b.Sti()
+	b.Ret()
+	payload, ok := inlinePayload(b.Bytes())
+	if !ok || len(payload) != isa.CallSiteLen {
+		t.Errorf("5-byte body: payload=%x ok=%v", payload, ok)
+	}
+	// One more byte tips it over.
+	var c isa.Asm
+	c.Cli()
+	c.Sti()
+	c.Pause()
+	c.Cli()
+	c.Sti()
+	c.Pause()
+	c.Ret()
+	if _, ok := inlinePayload(c.Bytes()); ok {
+		t.Error("6-byte body reported inlinable")
+	}
+}
+
+func TestInlinePayloadNoRet(t *testing.T) {
+	var a isa.Asm
+	a.Cli()
+	if _, ok := inlinePayload(a.Bytes()); ok {
+		t.Error("body without RET reported inlinable")
+	}
+	if _, ok := inlinePayload(nil); ok {
+		t.Error("empty body reported inlinable")
+	}
+	if _, ok := inlinePayload([]byte{0xFF}); ok {
+		t.Error("undecodable body reported inlinable")
+	}
+}
+
+func TestEncodePatched(t *testing.T) {
+	// Empty payload becomes one maximal NOP (Figure 3c).
+	out := encodePatched(nil)
+	if len(out) != isa.CallSiteLen {
+		t.Fatalf("len = %d", len(out))
+	}
+	in, err := isa.Decode(out)
+	if err != nil || in.Op != isa.NOPN || in.Len != isa.CallSiteLen {
+		t.Errorf("empty payload encodes to %v (%v)", in, err)
+	}
+	// Payload + filler.
+	var a isa.Asm
+	a.Sti()
+	out = encodePatched(a.Bytes())
+	if len(out) != isa.CallSiteLen || isa.Op(out[0]) != isa.STI {
+		t.Errorf("sti payload: %x", out)
+	}
+	// Exact-size payload gets no filler.
+	full := bytes.Repeat([]byte{byte(isa.PAUSE)}, isa.CallSiteLen)
+	out = encodePatched(full)
+	if !bytes.Equal(out, full) {
+		t.Errorf("full payload altered: %x", out)
+	}
+}

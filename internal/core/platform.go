@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Platform abstracts how the runtime library reads and patches memory.
+// The paper ports the library to Linux user space, the Linux kernel
+// and OctopOS by swapping exactly this layer (§5); here the user port
+// goes through mprotect-style permission flips while the kernel port
+// writes through the direct mapping.
+type Platform interface {
+	// Read copies memory into buf.
+	Read(addr uint64, buf []byte) error
+	// Patch writes buf into the text segment, temporarily making it
+	// writable if the port needs to.
+	Patch(addr uint64, buf []byte) error
+	// FlushICache invalidates any cached decode of the range. Skipping
+	// this after a Patch leaves the CPU executing stale bytes.
+	FlushICache(addr, n uint64)
+}
+
+// UserPlatform patches like a user-space process: mprotect the pages
+// writable (never writable+executable, so it also works under strict
+// W^X), write, and restore the original protection.
+type UserPlatform struct {
+	M *machine.Machine
+	// Stats counts protection flips and bytes patched.
+	Stats PlatformStats
+}
+
+// PlatformStats counts patching work for the overhead experiments.
+type PlatformStats struct {
+	Patches      int
+	BytesPatched int
+	ProtFlips    int
+	ICacheFlush  int
+}
+
+// Read implements Platform.
+func (p *UserPlatform) Read(addr uint64, buf []byte) error {
+	return p.M.Mem.Read(addr, buf)
+}
+
+// Patch implements Platform.
+func (p *UserPlatform) Patch(addr uint64, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	orig, ok := p.M.Mem.ProtOf(addr)
+	if !ok {
+		return fmt.Errorf("core: patch of unmapped address %#x", addr)
+	}
+	if err := p.M.Mem.Protect(addr, uint64(len(buf)), mem.RW); err != nil {
+		return err
+	}
+	p.Stats.ProtFlips++
+	if err := p.M.Mem.Write(addr, buf); err != nil {
+		return err
+	}
+	if err := p.M.Mem.Protect(addr, uint64(len(buf)), orig); err != nil {
+		return err
+	}
+	p.Stats.ProtFlips++
+	p.Stats.Patches++
+	p.Stats.BytesPatched += len(buf)
+	return nil
+}
+
+// FlushICache implements Platform.
+func (p *UserPlatform) FlushICache(addr, n uint64) {
+	p.M.CPU.FlushICache(addr, n)
+	p.Stats.ICacheFlush++
+}
+
+// KernelPlatform patches like kernel code: straight through the
+// physical mapping, no protection flips, but still an icache flush.
+type KernelPlatform struct {
+	M     *machine.Machine
+	Stats PlatformStats
+}
+
+// Read implements Platform.
+func (p *KernelPlatform) Read(addr uint64, buf []byte) error {
+	return p.M.Mem.Read(addr, buf)
+}
+
+// Patch implements Platform.
+func (p *KernelPlatform) Patch(addr uint64, buf []byte) error {
+	if err := p.M.Mem.WriteForce(addr, buf); err != nil {
+		return err
+	}
+	p.Stats.Patches++
+	p.Stats.BytesPatched += len(buf)
+	return nil
+}
+
+// FlushICache implements Platform.
+func (p *KernelPlatform) FlushICache(addr, n uint64) {
+	p.M.CPU.FlushICache(addr, n)
+	p.Stats.ICacheFlush++
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StateReport renders the runtime's current binding state: every
+// multiversed function with its committed variant (or "generic"),
+// every function-pointer switch, and per-site patch status. It is the
+// introspection surface mvrun and the examples print.
+func (rt *Runtime) StateReport() string {
+	var sb strings.Builder
+	funcs := append([]*funcState(nil), rt.funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].fd.Name < funcs[j].fd.Name })
+	for _, fs := range funcs {
+		state := "generic (dynamic)"
+		if fs.committed != nil {
+			state = fmt.Sprintf("bound to variant @%#x", fs.committed.Addr)
+		}
+		fmt.Fprintf(&sb, "func %-24s %s", fs.fd.Name, state)
+		sites := rt.sites[fs.fd.Generic]
+		patched := 0
+		for _, st := range sites {
+			if st.patched {
+				patched++
+			}
+		}
+		fmt.Fprintf(&sb, "  [%d/%d sites patched", patched, len(sites))
+		if fs.prologueOn {
+			sb.WriteString(", prologue redirected")
+		}
+		sb.WriteString("]\n")
+	}
+
+	var ptrs []*fnptrState
+	for _, ps := range rt.fnptrs {
+		ptrs = append(ptrs, ps)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].vd.Name < ptrs[j].vd.Name })
+	for _, ps := range ptrs {
+		state := "indirect (dynamic)"
+		if ps.committed {
+			state = fmt.Sprintf("bound to %#x", ps.target)
+		}
+		sites := rt.sites[ps.vd.Addr]
+		fmt.Fprintf(&sb, "fptr %-24s %s  [%d sites]\n", ps.vd.Name, state, len(sites))
+	}
+
+	var vars []VarDesc
+	vars = append(vars, rt.desc.Vars...)
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	for _, v := range vars {
+		if v.FnPtr {
+			continue
+		}
+		val, err := rt.readSwitch(&v)
+		if err != nil {
+			fmt.Fprintf(&sb, "var  %-24s <unreadable: %v>\n", v.Name, err)
+			continue
+		}
+		fmt.Fprintf(&sb, "var  %-24s = %d\n", v.Name, val)
+	}
+	return sb.String()
+}

@@ -1,0 +1,631 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/link"
+)
+
+// Runtime is the multiverse run-time library (paper §4, Table 1): it
+// decodes the descriptors of a loaded image and installs or removes
+// function variants by patching call sites and generic prologues.
+//
+// Like the paper's library it performs no synchronization; the caller
+// decides when the program is in a patchable state (§2).
+type Runtime struct {
+	plat Platform
+	desc *Descriptors
+
+	varsByAddr map[uint64]*VarDesc
+	funcs      []*funcState
+	byGeneric  map[uint64]*funcState
+	byName     map[string]*funcState
+	fnptrs     map[uint64]*fnptrState // keyed by switch-variable address
+	sites      map[uint64][]*siteState
+
+	// Stats accumulates patching work across all commits.
+	Stats RuntimeStats
+
+	// DisableInlining turns off tiny-body call-site inlining; variants
+	// are always installed as direct calls (ablation E9).
+	DisableInlining bool
+	// PrologueOnly skips call-site patching entirely and relies on the
+	// generic-prologue jump alone — the configuration §7.4 calls "a
+	// mere optimization" to go beyond (ablation E9).
+	PrologueOnly bool
+}
+
+// RuntimeStats counts runtime-library activity.
+type RuntimeStats struct {
+	Commits        int
+	Reverts        int
+	SitesPatched   int
+	SitesInlined   int
+	SitesReverted  int
+	ProloguePatch  int
+	GenericSignals int // commits that fell back to the generic variant
+}
+
+type siteState struct {
+	desc     CallSiteDesc
+	size     int // 5 for direct CALL sites, 9 for CALLM pointer sites
+	original []byte
+	current  []byte
+	patched  bool
+}
+
+type funcState struct {
+	fd            *FuncDesc
+	committed     *VariantDesc
+	savedPrologue [isa.CallSiteLen]byte
+	prologueOn    bool
+}
+
+type fnptrState struct {
+	vd        *VarDesc
+	committed bool
+	target    uint64
+}
+
+// NewRuntime decodes the image's descriptors and snapshots every call
+// site, verifying that each one holds the call instruction the
+// compiler said it would.
+func NewRuntime(img *link.Image, plat Platform) (*Runtime, error) {
+	desc, err := DecodeDescriptors(img, plat)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		plat:       plat,
+		desc:       desc,
+		varsByAddr: make(map[uint64]*VarDesc),
+		byGeneric:  make(map[uint64]*funcState),
+		byName:     make(map[string]*funcState),
+		fnptrs:     make(map[uint64]*fnptrState),
+		sites:      make(map[uint64][]*siteState),
+	}
+	for i := range desc.Vars {
+		v := &desc.Vars[i]
+		rt.varsByAddr[v.Addr] = v
+		if v.FnPtr {
+			rt.fnptrs[v.Addr] = &fnptrState{vd: v}
+		}
+	}
+	for i := range desc.Funcs {
+		fs := &funcState{fd: &desc.Funcs[i]}
+		rt.funcs = append(rt.funcs, fs)
+		rt.byGeneric[fs.fd.Generic] = fs
+		rt.byName[fs.fd.Name] = fs
+	}
+	for _, s := range desc.Sites {
+		st := &siteState{desc: s}
+		window, err := readSiteWindow(plat, s.Addr)
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.verifyOriginalSite(st, window); err != nil {
+			return nil, err
+		}
+		st.original = append([]byte(nil), window[:st.size]...)
+		st.current = append([]byte(nil), st.original...)
+		rt.sites[s.Callee] = append(rt.sites[s.Callee], st)
+	}
+	return rt, nil
+}
+
+// verifyOriginalSite checks that a freshly decoded call site contains
+// the call instruction the descriptor promises, and fixes the site's
+// patch-unit size.
+func (rt *Runtime) verifyOriginalSite(st *siteState, window []byte) error {
+	in, err := isa.Decode(window)
+	if err != nil {
+		return fmt.Errorf("core: call site %#x holds undecodable bytes: %w", st.desc.Addr, err)
+	}
+	switch in.Op {
+	case isa.CALL:
+		st.size = isa.CallSiteLen
+		target := st.desc.Addr + isa.CallSiteLen + uint64(in.Imm)
+		if target != st.desc.Callee {
+			return fmt.Errorf("core: call site %#x targets %#x, descriptor says %#x",
+				st.desc.Addr, target, st.desc.Callee)
+		}
+	case isa.CLLM:
+		st.size = isa.MemCallSiteLen
+		if uint64(in.Imm) != st.desc.Callee {
+			return fmt.Errorf("core: pointer call site %#x loads %#x, descriptor says %#x",
+				st.desc.Addr, uint64(in.Imm), st.desc.Callee)
+		}
+		if _, ok := rt.fnptrs[st.desc.Callee]; !ok {
+			return fmt.Errorf("core: indirect call site %#x references unknown switch %#x",
+				st.desc.Addr, st.desc.Callee)
+		}
+	default:
+		return fmt.Errorf("core: call site %#x holds %v, want a call", st.desc.Addr, in.Op)
+	}
+	return nil
+}
+
+// Funcs returns the decoded function descriptors.
+func (rt *Runtime) Funcs() []FuncDesc { return rt.desc.Funcs }
+
+// Vars returns the decoded variable descriptors.
+func (rt *Runtime) Vars() []VarDesc { return rt.desc.Vars }
+
+// Sites returns the number of recorded call sites for a callee
+// (generic function address or switch-variable address).
+func (rt *Runtime) Sites(callee uint64) int { return len(rt.sites[callee]) }
+
+// FuncByName returns the generic address of a multiversed function.
+func (rt *Runtime) FuncByName(name string) (uint64, bool) {
+	fs, ok := rt.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return fs.fd.Generic, true
+}
+
+// VarByName returns the address of a configuration switch.
+func (rt *Runtime) VarByName(name string) (uint64, bool) {
+	for _, v := range rt.desc.Vars {
+		if v.Name == name {
+			return v.Addr, true
+		}
+	}
+	return 0, false
+}
+
+// readSwitch reads the current value of a configuration switch.
+func (rt *Runtime) readSwitch(vd *VarDesc) (int64, error) {
+	var buf [8]byte
+	w := vd.Width
+	if w <= 0 || w > 8 {
+		return 0, fmt.Errorf("core: switch %q has width %d", vd.Name, w)
+	}
+	if err := rt.plat.Read(vd.Addr, buf[:w]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := w - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	if vd.Signed {
+		shift := uint(64 - 8*w)
+		return int64(v<<shift) >> shift, nil
+	}
+	return int64(v), nil
+}
+
+// selectVariant picks the first variant whose guards all hold for the
+// current switch values (paper §4).
+func (rt *Runtime) selectVariant(fd *FuncDesc) (*VariantDesc, error) {
+	for i := range fd.Variants {
+		v := &fd.Variants[i]
+		ok := true
+		for _, g := range v.Guards {
+			vd, found := rt.varsByAddr[g.VarAddr]
+			if !found {
+				return nil, fmt.Errorf("core: %q guard references unknown switch %#x", fd.Name, g.VarAddr)
+			}
+			val, err := rt.readSwitch(vd)
+			if err != nil {
+				return nil, err
+			}
+			if val < int64(g.Lo) || val > int64(g.Hi) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return v, nil
+		}
+	}
+	return nil, nil
+}
+
+// patchSite writes new bytes into a call site after verifying that it
+// still contains exactly what the runtime last installed.
+func (rt *Runtime) patchSite(st *siteState, newBytes []byte) error {
+	cur := make([]byte, st.size)
+	if err := rt.plat.Read(st.desc.Addr, cur); err != nil {
+		return err
+	}
+	if !bytesEqual(cur, st.current) {
+		return fmt.Errorf("core: call site %#x was modified behind the runtime's back (have %x, expect %x)",
+			st.desc.Addr, cur, st.current)
+	}
+	// Pad to the full patch unit so no stale instruction tail remains.
+	padded := append([]byte(nil), newBytes...)
+	if rest := st.size - len(padded); rest > 0 {
+		padded = append(padded, isa.EncodeNop(rest)...)
+	} else if rest < 0 {
+		return fmt.Errorf("core: patch of %d bytes exceeds %d-byte site %#x", len(newBytes), st.size, st.desc.Addr)
+	}
+	if err := rt.plat.Patch(st.desc.Addr, padded); err != nil {
+		return err
+	}
+	copy(st.current, padded)
+	st.patched = !bytesEqual(st.current, st.original)
+	rt.plat.FlushICache(st.desc.Addr, uint64(st.size))
+	return nil
+}
+
+// readSiteWindow reads the bytes of a call site; a site at the very
+// end of the text mapping may be shorter than the widest patch unit,
+// so a failed wide read falls back to the direct-call width.
+func readSiteWindow(p Platform, addr uint64) ([]byte, error) {
+	window := make([]byte, isa.MemCallSiteLen)
+	if err := p.Read(addr, window); err == nil {
+		return window, nil
+	}
+	window = window[:isa.CallSiteLen]
+	if err := p.Read(addr, window); err != nil {
+		return nil, fmt.Errorf("core: reading call site %#x: %w", addr, err)
+	}
+	return window, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// installAtSites points every call site of fs at target. Tiny variant
+// bodies are inlined into the site instead (paper §4).
+func (rt *Runtime) installAtSites(fs *funcState, v *VariantDesc) error {
+	sites := rt.sites[fs.fd.Generic]
+	if len(sites) == 0 {
+		return nil
+	}
+	body := make([]byte, v.Size)
+	if err := rt.plat.Read(v.Addr, body); err != nil {
+		return err
+	}
+	payload, inlinable := inlinePayload(body)
+	if rt.DisableInlining {
+		inlinable = false
+	}
+	for _, st := range sites {
+		if inlinable {
+			if err := rt.patchSite(st, encodePatched(payload)); err != nil {
+				return err
+			}
+			rt.Stats.SitesInlined++
+			continue
+		}
+		rel, err := isa.CallRel(st.desc.Addr, v.Addr)
+		if err != nil {
+			return err
+		}
+		enc := isa.EncodeCall(rel)
+		if err := rt.patchSite(st, enc[:]); err != nil {
+			return err
+		}
+		rt.Stats.SitesPatched++
+	}
+	return nil
+}
+
+// revertSites restores the original call instructions of fs.
+func (rt *Runtime) revertSitesFor(callee uint64) error {
+	for _, st := range rt.sites[callee] {
+		if !st.patched {
+			continue
+		}
+		if err := rt.patchSite(st, st.original); err != nil {
+			return err
+		}
+		rt.Stats.SitesReverted++
+	}
+	return nil
+}
+
+// patchPrologue redirects the generic function's entry to the variant,
+// so calls the compiler could not see (function pointers, assembly)
+// still reach the committed variant — the completeness argument of
+// §7.4.
+func (rt *Runtime) patchPrologue(fs *funcState, v *VariantDesc) error {
+	if fs.fd.Size < isa.CallSiteLen {
+		return fmt.Errorf("core: generic %q too small to patch (%d bytes)", fs.fd.Name, fs.fd.Size)
+	}
+	if !fs.prologueOn {
+		if err := rt.plat.Read(fs.fd.Generic, fs.savedPrologue[:]); err != nil {
+			return err
+		}
+	}
+	rel := int64(v.Addr) - int64(fs.fd.Generic+5)
+	if rel != int64(int32(rel)) {
+		return fmt.Errorf("core: variant of %q out of jump range", fs.fd.Name)
+	}
+	jmp := isa.EncodeJmp(int32(rel))
+	if err := rt.plat.Patch(fs.fd.Generic, jmp[:]); err != nil {
+		return err
+	}
+	rt.plat.FlushICache(fs.fd.Generic, isa.CallSiteLen)
+	fs.prologueOn = true
+	rt.Stats.ProloguePatch++
+	return nil
+}
+
+func (rt *Runtime) restorePrologue(fs *funcState) error {
+	if !fs.prologueOn {
+		return nil
+	}
+	if err := rt.plat.Patch(fs.fd.Generic, fs.savedPrologue[:]); err != nil {
+		return err
+	}
+	rt.plat.FlushICache(fs.fd.Generic, isa.CallSiteLen)
+	fs.prologueOn = false
+	return nil
+}
+
+// commitFunc binds one function to the variant matching the current
+// switch values. It reports whether a specialized variant was
+// installed; false means the generic function remains active (the
+// situation Figure 3d signals to the user).
+func (rt *Runtime) commitFunc(fs *funcState) (bool, error) {
+	v, err := rt.selectVariant(fs.fd)
+	if err != nil {
+		return false, err
+	}
+	if v == nil {
+		rt.Stats.GenericSignals++
+		if err := rt.revertFunc(fs); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if fs.committed == v {
+		return true, nil
+	}
+	// Repoint call sites first, then the prologue; both are idempotent
+	// with respect to the saved originals.
+	if rt.PrologueOnly {
+		if err := rt.revertSitesFor(fs.fd.Generic); err != nil {
+			return false, err
+		}
+	} else if err := rt.installAtSites(fs, v); err != nil {
+		return false, err
+	}
+	if err := rt.patchPrologue(fs, v); err != nil {
+		return false, err
+	}
+	fs.committed = v
+	return true, nil
+}
+
+func (rt *Runtime) revertFunc(fs *funcState) error {
+	if err := rt.revertSitesFor(fs.fd.Generic); err != nil {
+		return err
+	}
+	if err := rt.restorePrologue(fs); err != nil {
+		return err
+	}
+	fs.committed = nil
+	return nil
+}
+
+// commitFnPtr installs the current value of a function-pointer switch
+// into all its call sites as direct calls (paper §4: "when such a
+// function pointer is committed, we reuse the patching mechanism").
+func (rt *Runtime) commitFnPtr(ps *fnptrState) (bool, error) {
+	val, err := rt.readPointer(ps.vd.Addr)
+	if err != nil {
+		return false, err
+	}
+	if val == 0 {
+		// An unset pointer cannot be bound; fall back to the indirect
+		// call and signal.
+		rt.Stats.GenericSignals++
+		if err := rt.revertSitesFor(ps.vd.Addr); err != nil {
+			return false, err
+		}
+		ps.committed = false
+		return false, nil
+	}
+	if ps.committed && ps.target == val {
+		return true, nil
+	}
+	// Like the kernel's PV-Ops patcher, try to inline a trivial target
+	// body straight into the site; otherwise fall back to a direct
+	// call. The body length is unknown for plain pointers, so read a
+	// small window and let the decoder find the RET.
+	var payload []byte
+	inlinable := false
+	window := make([]byte, 64)
+	if err := rt.plat.Read(val, window); err == nil && !rt.DisableInlining {
+		payload, inlinable = inlinePayload(window)
+	}
+	for _, st := range rt.sites[ps.vd.Addr] {
+		if inlinable {
+			if err := rt.patchSite(st, encodePatched(payload)); err != nil {
+				return false, err
+			}
+			rt.Stats.SitesInlined++
+			continue
+		}
+		rel, err := isa.CallRel(st.desc.Addr, val)
+		if err != nil {
+			return false, err
+		}
+		enc := isa.EncodeCall(rel)
+		if err := rt.patchSite(st, enc[:]); err != nil {
+			return false, err
+		}
+		rt.Stats.SitesPatched++
+	}
+	ps.committed = true
+	ps.target = val
+	return true, nil
+}
+
+func (rt *Runtime) revertFnPtr(ps *fnptrState) error {
+	if err := rt.revertSitesFor(ps.vd.Addr); err != nil {
+		return err
+	}
+	ps.committed = false
+	return nil
+}
+
+func (rt *Runtime) readPointer(addr uint64) (uint64, error) {
+	var buf [8]byte
+	if err := rt.plat.Read(addr, buf[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v, nil
+}
+
+// CommitResult summarizes one commit operation.
+type CommitResult struct {
+	Committed int // functions / pointers bound to a variant
+	Generic   int // functions left on their generic implementation
+}
+
+// Commit inspects all multiversed variables, selects optimized
+// variants and installs them (Table 1: multiverse_commit).
+func (rt *Runtime) Commit() (CommitResult, error) {
+	rt.Stats.Commits++
+	var res CommitResult
+	for _, fs := range rt.funcs {
+		ok, err := rt.commitFunc(fs)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			res.Committed++
+		} else {
+			res.Generic++
+		}
+	}
+	for _, ps := range rt.fnptrs {
+		ok, err := rt.commitFnPtr(ps)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			res.Committed++
+		} else {
+			res.Generic++
+		}
+	}
+	return res, nil
+}
+
+// Revert restores the original process image everywhere
+// (Table 1: multiverse_revert).
+func (rt *Runtime) Revert() error {
+	rt.Stats.Reverts++
+	for _, fs := range rt.funcs {
+		if err := rt.revertFunc(fs); err != nil {
+			return err
+		}
+	}
+	for _, ps := range rt.fnptrs {
+		if err := rt.revertFnPtr(ps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CommitFunc commits a single function identified by its generic
+// address (Table 1: multiverse_commit_func).
+func (rt *Runtime) CommitFunc(generic uint64) (bool, error) {
+	fs, ok := rt.byGeneric[generic]
+	if !ok {
+		return false, fmt.Errorf("core: %#x is not a multiversed function", generic)
+	}
+	rt.Stats.Commits++
+	return rt.commitFunc(fs)
+}
+
+// RevertFunc reverts a single function (Table 1: multiverse_revert_func).
+func (rt *Runtime) RevertFunc(generic uint64) error {
+	fs, ok := rt.byGeneric[generic]
+	if !ok {
+		return fmt.Errorf("core: %#x is not a multiversed function", generic)
+	}
+	rt.Stats.Reverts++
+	return rt.revertFunc(fs)
+}
+
+// refersTo reports whether any variant of fd guards on the switch.
+func refersTo(fd *FuncDesc, varAddr uint64) bool {
+	for _, v := range fd.Variants {
+		for _, g := range v.Guards {
+			if g.VarAddr == varAddr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CommitRefs commits every function that references the given switch
+// (Table 1: multiverse_commit_refs).
+func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
+	rt.Stats.Commits++
+	var res CommitResult
+	if ps, ok := rt.fnptrs[varAddr]; ok {
+		ok2, err := rt.commitFnPtr(ps)
+		if err != nil {
+			return res, err
+		}
+		if ok2 {
+			res.Committed++
+		} else {
+			res.Generic++
+		}
+		return res, nil
+	}
+	if _, known := rt.varsByAddr[varAddr]; !known {
+		return res, fmt.Errorf("core: %#x is not a configuration switch", varAddr)
+	}
+	for _, fs := range rt.funcs {
+		if !refersTo(fs.fd, varAddr) {
+			continue
+		}
+		ok, err := rt.commitFunc(fs)
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			res.Committed++
+		} else {
+			res.Generic++
+		}
+	}
+	return res, nil
+}
+
+// RevertRefs reverts every function that references the given switch
+// (Table 1: multiverse_revert_refs).
+func (rt *Runtime) RevertRefs(varAddr uint64) error {
+	rt.Stats.Reverts++
+	if ps, ok := rt.fnptrs[varAddr]; ok {
+		return rt.revertFnPtr(ps)
+	}
+	if _, known := rt.varsByAddr[varAddr]; !known {
+		return fmt.Errorf("core: %#x is not a configuration switch", varAddr)
+	}
+	for _, fs := range rt.funcs {
+		if !refersTo(fs.fd, varAddr) {
+			continue
+		}
+		if err := rt.revertFunc(fs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEmptyGenericFunctionIsProloguePatchable checks the PadTo
+// guarantee: a multiversed function whose generic body would compile
+// to a single RET must still be at least one jump long, or the
+// prologue patch would clobber the next function.
+func TestEmptyGenericFunctionIsProloguePatchable(t *testing.T) {
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "tiny.mvc", Text: `
+		multiverse int on;
+		long witness;
+		multiverse void maybe(void) { if (on) { } }
+		void next_function(void) { witness = 42; }
+		void caller(void) { maybe(); next_function(); }
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit installs a prologue jump over maybe()'s first 5 bytes.
+	if err := sys.SetSwitch("on", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// next_function must be intact.
+	if _, err := sys.Machine.CallNamed("caller"); err != nil {
+		t.Fatalf("caller after prologue patch: %v", err)
+	}
+	w, err := sys.Machine.ReadGlobal("witness", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 42 {
+		t.Errorf("witness = %d; prologue patch damaged the neighbour function", w)
+	}
+	// Direct call to the (patched) generic also lands in the variant.
+	if _, err := sys.Machine.CallNamed("maybe"); err != nil {
+		t.Fatalf("calling the patched generic: %v", err)
+	}
+	// Revert restores the original prologue bytes.
+	if err := sys.RT.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Machine.CallNamed("caller"); err != nil {
+		t.Fatalf("caller after revert: %v", err)
+	}
+}
+
+// TestTransactionPattern exercises the §2 example: a subsystem lock
+// around variable writes and per-variable commit_refs calls, with an
+// object-layout translation in between.
+func TestTransactionPattern(t *testing.T) {
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "txn.mvc", Text: `
+		multiverse int A;
+		multiverse int B;
+		long layoutVersion;
+		long aPath;
+		long bPath;
+		multiverse void useA(void) { if (A) { aPath++; } }
+		multiverse void useB(void) { if (B) { bPath++; } }
+		void subsystem_op(void) { useA(); useB(); }
+		void translate_objects(void) { layoutVersion++; }
+		long versions(void) { return layoutVersion; }
+		long as(void) { return aPath; }
+		long bs(void) { return bPath; }
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr, _ := sys.RT.VarByName("A")
+	bAddr, _ := sys.RT.VarByName("B")
+
+	// The transaction: set A, commit_refs(&A); set B, commit_refs(&B);
+	// translate_objects().
+	setConfig := func(a, b int64) {
+		if err := sys.SetSwitch("A", a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RT.CommitRefs(aAddr); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetSwitch("B", b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RT.CommitRefs(bAddr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Machine.CallNamed("translate_objects"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	setConfig(1, 0)
+	if _, err := sys.Machine.CallNamed("subsystem_op"); err != nil {
+		t.Fatal(err)
+	}
+	setConfig(0, 1)
+	if _, err := sys.Machine.CallNamed("subsystem_op"); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(name string) uint64 {
+		v, err := sys.Machine.CallNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if get("as") != 1 || get("bs") != 1 {
+		t.Errorf("paths = %d/%d, want 1/1", get("as"), get("bs"))
+	}
+	if get("versions") != 2 {
+		t.Errorf("layout translations = %d, want 2", get("versions"))
+	}
+}
+
+// TestPrologueOnlyModeIsStillCorrect verifies the §7.4 claim that call
+// sites are "a mere optimization": with PrologueOnly the semantics are
+// identical, every call routed through the patched generic entry.
+func TestPrologueOnlyModeIsStillCorrect(t *testing.T) {
+	sys := buildFig2(t)
+	sys.RT.PrologueOnly = true
+	setAndCommit(t, sys, map[string]int64{"A": 1, "B": 1})
+	// Flip the variables: bound semantics must hold purely through the
+	// prologue jump.
+	if err := sys.SetSwitch("A", 0); err != nil {
+		t.Fatal(err)
+	}
+	call(t, sys, "foo")
+	if call(t, sys, "calcs") != 1 || call(t, sys, "logs") != 1 {
+		t.Errorf("prologue-only commit not bound: calcs=%d logs=%d",
+			call(t, sys, "calcs"), call(t, sys, "logs"))
+	}
+	if sys.RT.Stats.SitesPatched+sys.RT.Stats.SitesInlined != 0 {
+		t.Errorf("prologue-only mode patched call sites: %+v", sys.RT.Stats)
+	}
+	if err := sys.RT.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	call(t, sys, "foo") // A=0 now takes effect dynamically
+	if call(t, sys, "calcs") != 1 {
+		t.Error("revert after prologue-only commit broken")
+	}
+}
+
+// TestDisableInliningStillCorrect: with inlining off, empty variants
+// are reached by a direct call instead of being erased — semantics
+// unchanged, one call of overhead kept.
+func TestDisableInliningStillCorrect(t *testing.T) {
+	sys := buildFig2(t)
+	sys.RT.DisableInlining = true
+	setAndCommit(t, sys, map[string]int64{"A": 0, "B": 0})
+	call(t, sys, "foo")
+	if call(t, sys, "calcs") != 0 {
+		t.Error("A=0 variant executed calc")
+	}
+	if sys.RT.Stats.SitesInlined != 0 {
+		t.Errorf("inlining happened despite DisableInlining: %+v", sys.RT.Stats)
+	}
+	if sys.RT.Stats.SitesPatched == 0 {
+		t.Error("no direct-call patches recorded")
+	}
+}
+
+// TestRepeatedCommitRevertCycles stresses state bookkeeping.
+func TestRepeatedCommitRevertCycles(t *testing.T) {
+	sys := buildFig2(t)
+	for i := 0; i < 25; i++ {
+		a := int64(i % 2)
+		b := int64((i / 2) % 2)
+		setAndCommit(t, sys, map[string]int64{"A": a, "B": b})
+		call(t, sys, "foo")
+		if i%3 == 0 {
+			if err := sys.RT.Revert(); err != nil {
+				t.Fatalf("cycle %d: revert: %v", i, err)
+			}
+			call(t, sys, "foo")
+		}
+	}
+	// Behaviour check after the storm: dynamic evaluation with A=1,B=1.
+	if err := sys.RT.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetSwitch("A", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetSwitch("B", 1); err != nil {
+		t.Fatal(err)
+	}
+	before := call(t, sys, "logs")
+	call(t, sys, "foo")
+	if call(t, sys, "logs") != before+1 {
+		t.Error("dynamic behaviour broken after commit/revert cycles")
+	}
+}
+
+// TestSwitchVariantSpecialization: the grep-style pattern — a
+// multiversed dispatch over an enum-mode switch statement collapses to
+// the selected case in each variant.
+func TestSwitchVariantSpecialization(t *testing.T) {
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "sw.mvc", Text: `
+		enum Mode { PLAIN, GZIP, LZ4 };
+		multiverse enum Mode codec;
+		long plainN;
+		long gzipN;
+		long lz4N;
+		multiverse void compress(void) {
+			switch (codec) {
+			case PLAIN:
+				plainN++;
+				break;
+			case GZIP:
+				gzipN++;
+				break;
+			case LZ4:
+				lz4N++;
+				break;
+			}
+		}
+		void write_block(void) { compress(); }
+		long plains(void) { return plainN; }
+		long gzips(void) { return gzipN; }
+		long lz4s(void) { return lz4N; }
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three enum values -> three variants, no merging.
+	if fr := sys.Report.Functions[0]; fr.RawVariants != 3 || fr.MergedVariants != 3 {
+		t.Errorf("variants = %+v", fr)
+	}
+	for v, counter := range map[int64]string{0: "plains", 1: "gzips", 2: "lz4s"} {
+		if err := sys.SetSwitch("codec", v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RT.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		before := call(t, sys, counter)
+		call(t, sys, "write_block")
+		if got := call(t, sys, counter); got != before+1 {
+			t.Errorf("codec=%d: %s = %d, want %d", v, counter, got, before+1)
+		}
+	}
+	// Out-of-domain: generic fallback still behaves (no case matches,
+	// switch falls through).
+	if err := sys.SetSwitch("codec", 9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RT.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generic != 1 {
+		t.Errorf("out-of-domain commit = %+v", res)
+	}
+	p, g, l := call(t, sys, "plains"), call(t, sys, "gzips"), call(t, sys, "lz4s")
+	call(t, sys, "write_block")
+	if call(t, sys, "plains") != p || call(t, sys, "gzips") != g || call(t, sys, "lz4s") != l {
+		t.Error("out-of-domain value incremented a counter")
+	}
+}
+
+func TestStateReport(t *testing.T) {
+	sys := buildFig2(t)
+	rep := sys.RT.StateReport()
+	for _, want := range []string{"func multi", "generic (dynamic)", "var  A", "var  B"} {
+		if !containsStr(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	setAndCommit(t, sys, map[string]int64{"A": 1, "B": 0})
+	rep = sys.RT.StateReport()
+	for _, want := range []string{"bound to variant", "1/1 sites patched", "prologue redirected", "= 1"} {
+		if !containsStr(rep, want) {
+			t.Errorf("committed report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return strings.Contains(s, sub)
+}
+
+// TestPartialSpecializationBind: multiverse(bind(hot)) binds only the
+// named switch; the other stays a dynamic check inside every variant
+// (paper §2: "binding a subset of the referenced variables").
+func TestPartialSpecializationBind(t *testing.T) {
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "bind.mvc", Text: `
+		multiverse int hot;
+		multiverse int cold;
+		long hots;
+		long colds;
+		multiverse(bind(hot)) void poll(void) {
+			if (hot) { hots++; }
+			if (cold) { colds++; }
+		}
+		void tick(void) { poll(); }
+		long gotHots(void) { return hots; }
+		long gotColds(void) { return colds; }
+	`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := sys.Report.Functions[0]
+	// Only `hot` in the cross product: 2 raw variants, not 4.
+	if fr.RawVariants != 2 {
+		t.Fatalf("raw variants = %d, want 2 (bind subset ignored?)", fr.RawVariants)
+	}
+	// Commit hot=1; cold stays dynamic inside the bound variant.
+	if err := sys.SetSwitch("hot", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetSwitch("cold", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	call(t, sys, "tick")
+	if call(t, sys, "gotHots") != 1 || call(t, sys, "gotColds") != 0 {
+		t.Fatal("bound behaviour wrong")
+	}
+	// Flip hot without commit: bound, no effect. Flip cold without
+	// commit: dynamic, takes effect immediately.
+	if err := sys.SetSwitch("hot", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetSwitch("cold", 1); err != nil {
+		t.Fatal(err)
+	}
+	call(t, sys, "tick")
+	if call(t, sys, "gotHots") != 2 {
+		t.Error("bound switch `hot` was evaluated dynamically")
+	}
+	if call(t, sys, "gotColds") != 1 {
+		t.Error("unbound switch `cold` was not evaluated dynamically")
+	}
+}

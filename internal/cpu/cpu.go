@@ -1,0 +1,741 @@
+// Package cpu implements the m64 execution engine together with a
+// deterministic microarchitectural cost model.
+//
+// The paper's entire argument is microarchitectural: a dynamic
+// configuration check costs a load, a compare and a conditional branch
+// on every invocation, and the branch costs 15–20 cycles more whenever
+// the branch target buffer is cold or wrong. The model therefore
+// tracks exactly the features the paper reasons about:
+//
+//   - per-opcode base costs,
+//   - a direct-mapped BTB with 2-bit saturating counters for
+//     conditional branches,
+//   - indirect-call target prediction through the same BTB,
+//   - a return-address stack,
+//   - expensive locked operations (XCHG),
+//   - privileged instructions that trap when executed in a
+//     paravirtualized guest, plus cheap explicit hypercalls,
+//   - an instruction cache that keeps executing stale bytes until it
+//     is explicitly flushed (forgetting the flush after binary
+//     patching is a real bug the tests provoke).
+//
+// Cycle counts are deterministic: the same program always reports the
+// same number of cycles.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Mode distinguishes bare-metal execution from running as a
+// paravirtualized guest.
+type Mode uint8
+
+// Execution modes.
+const (
+	Native Mode = iota // privileged instructions execute directly
+	Guest              // privileged instructions trap to the hypervisor
+)
+
+// Hypervisor handles HCALL instructions and privileged-instruction
+// traps of a Guest-mode CPU.
+type Hypervisor interface {
+	// Hypercall is invoked for HCALL n. It may inspect and modify the
+	// CPU (e.g. its virtual interrupt flag).
+	Hypercall(c *CPU, n uint8) error
+}
+
+// Config holds the cycle cost model. All costs are in cycles.
+type Config struct {
+	CostALU   int // simple ALU op, MOV, MOVI, LEA, SPADD
+	CostMul   int
+	CostDiv   int
+	CostLoad  int // L1 load-to-use
+	CostStore int
+	CostPush  int
+	CostPop   int
+	CostNop   int
+
+	CostJmp           int // unconditional direct jump
+	CostBranch        int // correctly predicted conditional branch
+	MispredictPenalty int // added on any misprediction (cf. 15–20 cycles on Skylake)
+	CostCall          int
+	CostRet           int
+	CostCallR         int // indirect call base cost (before prediction)
+
+	CostXchg  int // locked atomic exchange
+	CostPause int
+	CostCmp   int
+
+	CostCliSti    int // CLI/STI executed natively
+	GuestTrapCost int // CLI/STI executed in a guest: trap-and-emulate
+	CostHcall     int // explicit hypercall
+	CostRdtsc     int
+	CostIO        int // OUTB/INB device access
+
+	BTBSize  int // number of direct-mapped BTB entries (power of two)
+	RASDepth int // return-address stack depth
+}
+
+// DefaultConfig returns the calibrated cost model used by the paper
+// reproduction benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		CostALU:           1,
+		CostMul:           3,
+		CostDiv:           20,
+		CostLoad:          4,
+		CostStore:         1,
+		CostPush:          1,
+		CostPop:           1,
+		CostNop:           0, // NOPs are eliminated in rename on modern cores
+		CostJmp:           1,
+		CostBranch:        1,
+		MispredictPenalty: 16,
+		CostCall:          2,
+		CostRet:           2,
+		CostCallR:         4,
+		CostXchg:          18,
+		CostPause:         1,
+		CostCmp:           1,
+		CostCliSti:        3,
+		GuestTrapCost:     250,
+		CostHcall:         5,
+		CostRdtsc:         24,
+		CostIO:            40,
+		BTBSize:           512,
+		RASDepth:          16,
+	}
+}
+
+type btbEntry struct {
+	valid   bool
+	tag     uint64
+	counter uint8  // 2-bit saturating; >= 2 predicts taken
+	target  uint64 // predicted indirect target
+}
+
+// Stats accumulates execution statistics.
+type Stats struct {
+	Instructions uint64
+	Branches     uint64
+	Mispredicts  uint64
+	Loads        uint64
+	Stores       uint64
+	Calls        uint64
+	ICacheFills  uint64
+	Interrupts   uint64
+}
+
+// CPU is a single m64 hardware thread.
+type CPU struct {
+	Mem *mem.Memory
+
+	regs   [isa.NumRegs]uint64
+	pc     uint64
+	cycles uint64
+	halted bool
+
+	cmpA, cmpB int64 // operands of the last CMP/CMPI
+
+	cfg  Config
+	btb  []btbEntry
+	ras  []uint64
+	rasN int
+
+	icache map[uint64]*icLine // page number -> cached line
+
+	mode       Mode
+	intrOn     bool
+	hypervisor Hypervisor
+
+	intrPeriod uint64 // perturbation period in cycles; 0 = off
+	intrCost   uint64
+	nextIntr   uint64
+
+	// Trace, when non-nil, observes every executed instruction after
+	// decode and before execution — the substrate for debugger-style
+	// tooling (cf. the paper's §7.2 discussion of stepping through
+	// patched code).
+	Trace func(pc uint64, in isa.Inst)
+
+	// OutB receives device writes; nil discards them.
+	OutB func(port uint8, b byte)
+	// InB supplies device reads; nil reads zero.
+	InB func(port uint8) byte
+
+	stats Stats
+}
+
+type icLine struct {
+	bytes   []byte // snapshot of the page at fill time
+	version uint64 // page version at fill time (diagnostic only)
+}
+
+// New returns a CPU executing from m with the given cost model.
+func New(m *mem.Memory, cfg Config) *CPU {
+	if cfg.BTBSize == 0 || cfg.BTBSize&(cfg.BTBSize-1) != 0 {
+		panic(fmt.Sprintf("cpu: BTBSize %d is not a power of two", cfg.BTBSize))
+	}
+	return &CPU{
+		Mem:    m,
+		cfg:    cfg,
+		btb:    make([]btbEntry, cfg.BTBSize),
+		ras:    make([]uint64, cfg.RASDepth),
+		icache: make(map[uint64]*icLine),
+	}
+}
+
+// Reg returns the value of register r.
+func (c *CPU) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// SetReg sets register r to v.
+func (c *CPU) SetReg(r isa.Reg, v uint64) { c.regs[r] = v }
+
+// PC returns the program counter.
+func (c *CPU) PC() uint64 { return c.pc }
+
+// SetPC sets the program counter.
+func (c *CPU) SetPC(pc uint64) { c.pc = pc; c.halted = false }
+
+// Cycles returns the cycle counter (also readable by RDTSC).
+func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// AddCycles advances the cycle counter by n; the benchmark harness uses
+// it to model measurement overhead.
+func (c *CPU) AddCycles(n uint64) { c.cycles += n }
+
+// Halted reports whether the CPU has executed HLT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Stats returns a copy of the execution statistics.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Mode returns the execution mode.
+func (c *CPU) Mode() Mode { return c.mode }
+
+// SetMode switches between Native and Guest execution.
+func (c *CPU) SetMode(m Mode) { c.mode = m }
+
+// SetHypervisor installs the handler for hypercalls and guest traps.
+func (c *CPU) SetHypervisor(h Hypervisor) { c.hypervisor = h }
+
+// InterruptsEnabled reports the virtual interrupt flag.
+func (c *CPU) InterruptsEnabled() bool { return c.intrOn }
+
+// SetInterruptsEnabled sets the virtual interrupt flag (used by
+// hypervisor implementations of sti/cli hypercalls).
+func (c *CPU) SetInterruptsEnabled(on bool) { c.intrOn = on }
+
+// SetInterruptPerturbation makes an asynchronous interrupt steal cost
+// cycles roughly every period cycles while interrupts are enabled —
+// the perturbation the paper's measurement methodology attributes its
+// rare outliers to (§6.1, §7.5). Deterministic: the same program sees
+// the same interrupt schedule. period 0 disables.
+func (c *CPU) SetInterruptPerturbation(period, cost uint64) {
+	c.intrPeriod = period
+	c.intrCost = cost
+	c.nextIntr = c.cycles + period
+}
+
+// Config returns the cost model.
+func (c *CPU) Config() Config { return c.cfg }
+
+// FlushICache invalidates the instruction cache for [addr, addr+n).
+// Binary patching must call this (via the runtime library) or the CPU
+// keeps executing the stale pre-patch bytes.
+func (c *CPU) FlushICache(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := addr >> mem.PageShift
+	last := (addr + n - 1) >> mem.PageShift
+	for pn := first; pn <= last; pn++ {
+		delete(c.icache, pn)
+	}
+}
+
+// FlushPredictor clears the BTB and the return-address stack. The
+// BTB-cold ablation (experiment E8) uses it to model branch-predictor
+// pressure from surrounding kernel code.
+func (c *CPU) FlushPredictor() {
+	for i := range c.btb {
+		c.btb[i] = btbEntry{}
+	}
+	c.rasN = 0
+}
+
+// icFetch copies n instruction bytes at addr into buf from the
+// instruction cache, filling lines as needed. It checks the Exec
+// permission at fill time, like a hardware ifetch.
+func (c *CPU) icFetch(addr uint64, buf []byte) (int, error) {
+	got := 0
+	for got < len(buf) {
+		pn := addr >> mem.PageShift
+		line, ok := c.icache[pn]
+		if !ok {
+			prot, mapped := c.Mem.ProtOf(addr)
+			if !mapped || prot&mem.Exec == 0 {
+				if got > 0 {
+					return got, nil // partial window; decoder decides
+				}
+				return 0, &mem.Fault{Addr: addr, Kind: mem.AccessExec, Prot: prot, Mapped: mapped}
+			}
+			pageBytes := make([]byte, mem.PageSize)
+			if err := c.Mem.Fetch(pn<<mem.PageShift, pageBytes); err != nil {
+				return got, err
+			}
+			ver, _ := c.Mem.PageVersion(addr)
+			line = &icLine{bytes: pageBytes, version: ver}
+			c.icache[pn] = line
+			c.stats.ICacheFills++
+		}
+		off := int(addr & (mem.PageSize - 1))
+		n := copy(buf[got:], line.bytes[off:])
+		got += n
+		addr += uint64(n)
+	}
+	return got, nil
+}
+
+// maxInstLen is the longest instruction we fetch eagerly (MOVI).
+// NOPN is handled specially since only its first two bytes matter.
+const maxInstLen = 10
+
+type execError struct {
+	pc  uint64
+	err error
+}
+
+func (e *execError) Error() string { return fmt.Sprintf("cpu: at pc=%#x: %v", e.pc, e.err) }
+func (e *execError) Unwrap() error { return e.err }
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("cpu: step on halted CPU")
+	}
+	var window [maxInstLen]byte
+	n, err := c.icFetch(c.pc, window[:])
+	if err != nil {
+		return &execError{c.pc, err}
+	}
+
+	// NOPN: only the length byte matters; the padding need not be
+	// fetched (it may even cross into the next page).
+	if n >= 2 && isa.Op(window[0]) == isa.NOPN {
+		length := uint64(window[1])
+		if length < 2 {
+			return &execError{c.pc, fmt.Errorf("NOPN length %d", length)}
+		}
+		if c.Trace != nil {
+			c.Trace(c.pc, isa.Inst{Op: isa.NOPN, Len: int(length)})
+		}
+		c.pc += length
+		c.cycles += uint64(c.cfg.CostNop)
+		c.stats.Instructions++
+		return nil
+	}
+
+	in, err := isa.Decode(window[:n])
+	if err != nil {
+		return &execError{c.pc, err}
+	}
+	if c.Trace != nil {
+		c.Trace(c.pc, in)
+	}
+	return c.exec(in)
+}
+
+func (c *CPU) exec(in isa.Inst) error {
+	pc := c.pc
+	next := pc + uint64(in.Len)
+	cost := 0
+	c.stats.Instructions++
+
+	switch in.Op {
+	case isa.HLT:
+		c.halted = true
+		c.pc = next
+		return nil
+
+	case isa.NOP, isa.NOPN:
+		cost = c.cfg.CostNop
+
+	case isa.MOVI:
+		c.regs[in.Rd] = uint64(in.Imm)
+		cost = c.cfg.CostALU
+
+	case isa.MOV:
+		c.regs[in.Rd] = c.regs[in.Rs]
+		cost = c.cfg.CostALU
+
+	case isa.LEA:
+		c.regs[in.Rd] = c.regs[in.Rs] + uint64(in.Imm)
+		cost = c.cfg.CostALU
+
+	case isa.LD, isa.LDS:
+		addr := c.regs[in.Rs] + uint64(in.Imm)
+		v, err := c.Mem.ReadUint(addr, in.Size)
+		if err != nil {
+			return &execError{pc, err}
+		}
+		if in.Op == isa.LDS {
+			shift := 64 - 8*in.Size
+			v = uint64(int64(v<<shift) >> shift)
+		}
+		c.regs[in.Rd] = v
+		c.stats.Loads++
+		cost = c.cfg.CostLoad
+
+	case isa.ST:
+		addr := c.regs[in.Rd] + uint64(in.Imm)
+		if err := c.Mem.WriteUint(addr, in.Size, c.regs[in.Rs]); err != nil {
+			return &execError{pc, err}
+		}
+		c.stats.Stores++
+		cost = c.cfg.CostStore
+
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SAR, isa.NEG, isa.NOT, isa.UDIV, isa.UMOD:
+		var err error
+		cost, err = c.alu(in.Op, in.Rd, c.regs[in.Rs])
+		if err != nil {
+			return &execError{pc, err}
+		}
+
+	case isa.ADDI, isa.SUBI, isa.MULI, isa.DIVI, isa.MODI, isa.ANDI, isa.ORI,
+		isa.XORI, isa.SHLI, isa.SHRI, isa.SARI:
+		var err error
+		cost, err = c.alu(immToReg(in.Op), in.Rd, uint64(in.Imm))
+		if err != nil {
+			return &execError{pc, err}
+		}
+
+	case isa.CMP:
+		c.cmpA, c.cmpB = int64(c.regs[in.Rd]), int64(c.regs[in.Rs])
+		cost = c.cfg.CostCmp
+
+	case isa.CMPI:
+		c.cmpA, c.cmpB = int64(c.regs[in.Rd]), in.Imm
+		cost = c.cfg.CostCmp
+
+	case isa.SETCC:
+		if in.Cond.Eval(c.cmpA, c.cmpB) {
+			c.regs[in.Rd] = 1
+		} else {
+			c.regs[in.Rd] = 0
+		}
+		cost = c.cfg.CostALU
+
+	case isa.JCC:
+		taken := in.Cond.Eval(c.cmpA, c.cmpB)
+		cost = c.cfg.CostBranch
+		if !c.predictCond(pc, taken) {
+			cost += c.cfg.MispredictPenalty
+			c.stats.Mispredicts++
+		}
+		c.stats.Branches++
+		if taken {
+			next += uint64(in.Imm)
+		}
+
+	case isa.JMP:
+		next += uint64(in.Imm)
+		cost = c.cfg.CostJmp
+
+	case isa.CALL:
+		c.rasPush(next)
+		if err := c.push(next); err != nil {
+			return &execError{pc, err}
+		}
+		next += uint64(in.Imm)
+		cost = c.cfg.CostCall
+		c.stats.Calls++
+
+	case isa.CLLM:
+		ptr, err := c.Mem.ReadUint(uint64(in.Imm), 8)
+		if err != nil {
+			return &execError{pc, err}
+		}
+		if ptr == 0 {
+			return &execError{pc, fmt.Errorf("call through null function pointer at %#x", uint64(in.Imm))}
+		}
+		c.stats.Loads++
+		cost = c.cfg.CostLoad + c.cfg.CostCallR
+		if !c.predictIndirect(pc, ptr) {
+			cost += c.cfg.MispredictPenalty
+			c.stats.Mispredicts++
+		}
+		c.stats.Branches++
+		c.rasPush(next)
+		if err := c.push(next); err != nil {
+			return &execError{pc, err}
+		}
+		next = ptr
+		c.stats.Calls++
+
+	case isa.CLLR:
+		target := c.regs[in.Rs]
+		cost = c.cfg.CostCallR
+		if !c.predictIndirect(pc, target) {
+			cost += c.cfg.MispredictPenalty
+			c.stats.Mispredicts++
+		}
+		c.stats.Branches++
+		c.rasPush(next)
+		if err := c.push(next); err != nil {
+			return &execError{pc, err}
+		}
+		next = target
+		c.stats.Calls++
+
+	case isa.RET:
+		ret, err := c.pop()
+		if err != nil {
+			return &execError{pc, err}
+		}
+		cost = c.cfg.CostRet
+		if !c.rasPop(ret) {
+			cost += c.cfg.MispredictPenalty
+			c.stats.Mispredicts++
+		}
+		next = ret
+
+	case isa.PUSH:
+		if err := c.push(c.regs[in.Rd]); err != nil {
+			return &execError{pc, err}
+		}
+		cost = c.cfg.CostPush
+
+	case isa.POP:
+		v, err := c.pop()
+		if err != nil {
+			return &execError{pc, err}
+		}
+		c.regs[in.Rd] = v
+		cost = c.cfg.CostPop
+
+	case isa.SPAD:
+		c.regs[isa.SP] += uint64(in.Imm)
+		cost = c.cfg.CostALU
+
+	case isa.XCHG:
+		addr := c.regs[in.Rd]
+		old, err := c.Mem.ReadUint(addr, 8)
+		if err != nil {
+			return &execError{pc, err}
+		}
+		if err := c.Mem.WriteUint(addr, 8, c.regs[in.Rs]); err != nil {
+			return &execError{pc, err}
+		}
+		c.regs[in.Rs] = old
+		c.stats.Loads++
+		c.stats.Stores++
+		cost = c.cfg.CostXchg
+
+	case isa.PAUSE:
+		cost = c.cfg.CostPause
+
+	case isa.CLI, isa.STI:
+		on := in.Op == isa.STI
+		if c.mode == Guest {
+			// A paravirtualized guest is deprivileged: the
+			// instruction traps and the hypervisor emulates it.
+			cost = c.cfg.GuestTrapCost
+			c.intrOn = on
+		} else {
+			cost = c.cfg.CostCliSti
+			c.intrOn = on
+		}
+
+	case isa.HCALL:
+		if c.hypervisor == nil {
+			return &execError{pc, fmt.Errorf("HCALL %d with no hypervisor", in.Imm)}
+		}
+		if err := c.hypervisor.Hypercall(c, uint8(in.Imm)); err != nil {
+			return &execError{pc, err}
+		}
+		cost = c.cfg.CostHcall
+
+	case isa.RDTSC:
+		// Like rdtsc_ordered: the cost is charged before the value is
+		// read so that back-to-back reads measure the in-between work
+		// plus one timer read.
+		c.cycles += uint64(c.cfg.CostRdtsc)
+		c.regs[in.Rd] = c.cycles
+		c.pc = next
+		return nil
+
+	case isa.OUTB:
+		if c.OutB != nil {
+			c.OutB(uint8(in.Imm), byte(c.regs[in.Rs]))
+		}
+		cost = c.cfg.CostIO
+
+	case isa.INB:
+		var v byte
+		if c.InB != nil {
+			v = c.InB(uint8(in.Imm))
+		}
+		c.regs[in.Rd] = uint64(v)
+		cost = c.cfg.CostIO
+
+	default:
+		return &execError{pc, fmt.Errorf("unimplemented opcode %v", in.Op)}
+	}
+
+	c.cycles += uint64(cost)
+	c.pc = next
+	if c.intrPeriod > 0 && c.intrOn && c.cycles >= c.nextIntr {
+		// Service an asynchronous interrupt: time passes, state is
+		// preserved (the handler saves and restores everything).
+		c.cycles += c.intrCost
+		c.stats.Interrupts++
+		c.nextIntr = c.cycles + c.intrPeriod
+	}
+	return nil
+}
+
+func immToReg(op isa.Op) isa.Op {
+	// ADDI..SARI mirror ADD..SAR with a fixed offset.
+	return op - isa.ADDI + isa.ADD
+}
+
+func (c *CPU) alu(op isa.Op, rd isa.Reg, src uint64) (int, error) {
+	a := c.regs[rd]
+	cost := c.cfg.CostALU
+	switch op {
+	case isa.ADD:
+		a += src
+	case isa.SUB:
+		a -= src
+	case isa.MUL:
+		a *= src
+		cost = c.cfg.CostMul
+	case isa.DIV:
+		if src == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		a = uint64(int64(a) / int64(src))
+		cost = c.cfg.CostDiv
+	case isa.MOD:
+		if src == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		a = uint64(int64(a) % int64(src))
+		cost = c.cfg.CostDiv
+	case isa.UDIV:
+		if src == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		a /= src
+		cost = c.cfg.CostDiv
+	case isa.UMOD:
+		if src == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		a %= src
+		cost = c.cfg.CostDiv
+	case isa.AND:
+		a &= src
+	case isa.OR:
+		a |= src
+	case isa.XOR:
+		a ^= src
+	case isa.SHL:
+		a <<= src & 63
+	case isa.SHR:
+		a >>= src & 63
+	case isa.SAR:
+		a = uint64(int64(a) >> (src & 63))
+	case isa.NEG:
+		a = -a
+	case isa.NOT:
+		a = ^a
+	default:
+		return 0, fmt.Errorf("not an ALU op: %v", op)
+	}
+	c.regs[rd] = a
+	return cost, nil
+}
+
+func (c *CPU) push(v uint64) error {
+	c.regs[isa.SP] -= 8
+	return c.Mem.WriteUint(c.regs[isa.SP], 8, v)
+}
+
+func (c *CPU) pop() (uint64, error) {
+	v, err := c.Mem.ReadUint(c.regs[isa.SP], 8)
+	if err != nil {
+		return 0, err
+	}
+	c.regs[isa.SP] += 8
+	return v, nil
+}
+
+// predictCond consults and updates the conditional predictor; it
+// reports whether the prediction was correct.
+func (c *CPU) predictCond(pc uint64, taken bool) bool {
+	e := &c.btb[pc&uint64(c.cfg.BTBSize-1)]
+	predictTaken := e.valid && e.tag == pc && e.counter >= 2
+	correct := predictTaken == taken
+	if !e.valid || e.tag != pc {
+		*e = btbEntry{valid: true, tag: pc, counter: 1} // weakly not-taken
+	}
+	if taken {
+		if e.counter < 3 {
+			e.counter++
+		}
+	} else if e.counter > 0 {
+		e.counter--
+	}
+	return correct
+}
+
+// predictIndirect consults and updates the indirect-target predictor;
+// it reports whether the prediction was correct.
+func (c *CPU) predictIndirect(pc, target uint64) bool {
+	e := &c.btb[pc&uint64(c.cfg.BTBSize-1)]
+	correct := e.valid && e.tag == pc && e.target == target
+	*e = btbEntry{valid: true, tag: pc, counter: e.counter, target: target}
+	return correct
+}
+
+func (c *CPU) rasPush(ret uint64) {
+	if len(c.ras) == 0 {
+		return
+	}
+	c.ras[c.rasN%len(c.ras)] = ret
+	c.rasN++
+}
+
+func (c *CPU) rasPop(actual uint64) bool {
+	if len(c.ras) == 0 || c.rasN == 0 {
+		return false
+	}
+	c.rasN--
+	return c.ras[c.rasN%len(c.ras)] == actual
+}
+
+// Run executes until HLT, an error, or maxSteps instructions. It
+// returns the number of instructions executed.
+func (c *CPU) Run(maxSteps uint64) (uint64, error) {
+	var steps uint64
+	for steps < maxSteps {
+		if c.halted {
+			return steps, nil
+		}
+		if err := c.Step(); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	if !c.halted {
+		return steps, fmt.Errorf("cpu: exceeded %d steps without HLT (pc=%#x)", maxSteps, c.pc)
+	}
+	return steps, nil
+}

@@ -1,0 +1,576 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+const (
+	textBase  = uint64(0x400000)
+	dataBase  = uint64(0x600000)
+	stackTop  = uint64(0x7ff000)
+	stackSize = uint64(4 * mem.PageSize)
+)
+
+// newVM loads code at textBase (read-exec), maps a data page and a
+// stack, and returns a ready CPU.
+func newVM(t *testing.T, code []byte) *CPU {
+	t.Helper()
+	m := mem.New()
+	textLen := mem.PageAlignUp(uint64(len(code)))
+	if textLen == 0 {
+		textLen = mem.PageSize
+	}
+	if err := m.Map(textBase, textLen, mem.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(textBase, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(textBase, textLen, mem.RX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(dataBase, mem.PageSize, mem.RW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(stackTop-stackSize, stackSize, mem.RW); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, DefaultConfig())
+	c.SetPC(textBase)
+	c.SetReg(isa.SP, stackTop)
+	return c
+}
+
+func run(t *testing.T, c *CPU) {
+	t.Helper()
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatal("CPU did not halt")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 10)
+	a.Movi(1, 3)
+	a.Alu(isa.ADD, 0, 1)   // 13
+	a.AluI(isa.MULI, 0, 4) // 52
+	a.AluI(isa.SUBI, 0, 2) // 50
+	a.Movi(2, 7)
+	a.Alu(isa.DIV, 0, 2)   // 7
+	a.AluI(isa.MODI, 0, 4) // 3
+	a.Alu(isa.NEG, 0, 0)   // -3
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if got := int64(c.Reg(0)); got != -3 {
+		t.Errorf("r0 = %d, want -3", got)
+	}
+}
+
+func TestShiftsAndBitwise(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 0b1010)
+	a.AluI(isa.SHLI, 0, 4)    // 0b10100000
+	a.AluI(isa.ORI, 0, 1)     // 0b10100001
+	a.AluI(isa.ANDI, 0, 0xF1) // 0b10100001 & 0xF1 = 0xA1 & 0xF1 = 0xA1
+	a.AluI(isa.XORI, 0, 0xFF)
+	a.Movi(1, -8)
+	a.AluI(isa.SARI, 1, 1) // -4
+	a.Movi(2, -8)
+	a.AluI(isa.SHRI, 2, 60)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if got := c.Reg(0); got != (0xA1&0xF1)^0xFF {
+		t.Errorf("r0 = %#x, want %#x", got, (0xA1&0xF1)^0xFF)
+	}
+	if got := int64(c.Reg(1)); got != -4 {
+		t.Errorf("r1 = %d, want -4", got)
+	}
+	if got := c.Reg(2); got != 0xF {
+		t.Errorf("r2 = %#x, want 0xf", got)
+	}
+}
+
+func TestLoadStoreSizes(t *testing.T) {
+	var a isa.Asm
+	a.Movi(1, int64(dataBase))
+	a.Movi(0, -2) // 0xFFFF...FE
+	a.St(1, 0, 4, 0)
+	a.Ld(2, 1, 4, 0)  // zero-extended 32-bit
+	a.Lds(3, 1, 4, 0) // sign-extended 32-bit
+	a.Lds(4, 1, 1, 0) // sign-extended byte (0xFE -> -2)
+	a.Ld(5, 1, 2, 0)  // zero-extended 16-bit
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if got := c.Reg(2); got != 0xFFFFFFFE {
+		t.Errorf("zero-ext 32 = %#x", got)
+	}
+	if got := int64(c.Reg(3)); got != -2 {
+		t.Errorf("sign-ext 32 = %d", got)
+	}
+	if got := int64(c.Reg(4)); got != -2 {
+		t.Errorf("sign-ext 8 = %d", got)
+	}
+	if got := c.Reg(5); got != 0xFFFE {
+		t.Errorf("zero-ext 16 = %#x", got)
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	var a isa.Asm
+	// main: push sentinel, call f, hlt. f: r0 = 42, ret.
+	a.Movi(0, 0)
+	callOff := a.Len()
+	a.Call(0) // placeholder
+	a.Hlt()
+	fOff := a.Len()
+	a.Movi(0, 42)
+	a.Ret()
+	// Fix the call displacement.
+	rel, err := isa.CallRel(textBase+uint64(callOff), textBase+uint64(fOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := isa.EncodeCall(rel)
+	copy(a.Bytes()[callOff:], patched[:])
+
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(0) != 42 {
+		t.Errorf("r0 = %d, want 42", c.Reg(0))
+	}
+	if c.Reg(isa.SP) != stackTop {
+		t.Errorf("sp = %#x, want %#x (balanced)", c.Reg(isa.SP), stackTop)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 11)
+	a.Movi(1, 22)
+	a.Push(0)
+	a.Push(1)
+	a.Pop(2)
+	a.Pop(3)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(2) != 22 || c.Reg(3) != 11 {
+		t.Errorf("r2, r3 = %d, %d; want 22, 11", c.Reg(2), c.Reg(3))
+	}
+}
+
+func TestConditionalLoop(t *testing.T) {
+	// r0 = sum 1..10 via a backward loop.
+	var a isa.Asm
+	a.Movi(0, 0)
+	a.Movi(1, 1)
+	loop := a.Len()
+	a.Alu(isa.ADD, 0, 1)
+	a.AluI(isa.ADDI, 1, 1)
+	a.CmpI(1, 10)
+	// jle loop
+	jccAt := a.Len()
+	a.Jcc(isa.LE, int32(loop-(jccAt+6)))
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(0) != 55 {
+		t.Errorf("sum = %d, want 55", c.Reg(0))
+	}
+}
+
+func TestBranchPredictorWarmsUp(t *testing.T) {
+	// A long loop: the backward branch mispredicts at most a couple of
+	// times, then stays predicted.
+	var a isa.Asm
+	a.Movi(1, 0)
+	loop := a.Len()
+	a.AluI(isa.ADDI, 1, 1)
+	a.CmpI(1, 1000)
+	jccAt := a.Len()
+	a.Jcc(isa.LT, int32(loop-(jccAt+6)))
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	st := c.Stats()
+	if st.Branches != 1000 {
+		t.Fatalf("branches = %d, want 1000", st.Branches)
+	}
+	if st.Mispredicts > 3 {
+		t.Errorf("mispredicts = %d, want <= 3 after warmup", st.Mispredicts)
+	}
+}
+
+func TestFlushPredictorForcesMispredicts(t *testing.T) {
+	cfg := DefaultConfig()
+	m := mem.New()
+	var a isa.Asm
+	a.Movi(1, 0)
+	a.CmpI(1, 1)
+	a.Jcc(isa.LT, 0) // taken branch to the next insn
+	a.Hlt()
+	code := a.Bytes()
+	if err := m.Map(textBase, mem.PageSize, mem.RWX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(textBase, code); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m, cfg)
+
+	runOnce := func() {
+		c.SetPC(textBase)
+		if _, err := c.Run(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runOnce() // cold: mispredict (predicted not-taken, was taken)
+	first := c.Stats().Mispredicts
+	if first != 1 {
+		t.Fatalf("cold mispredicts = %d, want 1", first)
+	}
+	runOnce()
+	runOnce() // counter saturates toward taken
+	warm := c.Stats().Mispredicts
+	runOnce()
+	if c.Stats().Mispredicts != warm {
+		t.Errorf("warm branch still mispredicts")
+	}
+	c.FlushPredictor()
+	runOnce()
+	if c.Stats().Mispredicts != warm+1 {
+		t.Errorf("flushed predictor did not mispredict")
+	}
+}
+
+func TestReturnAddressStack(t *testing.T) {
+	var a isa.Asm
+	callAt := a.Len()
+	a.Call(0)
+	a.Hlt()
+	fOff := a.Len()
+	a.Ret()
+	rel, _ := isa.CallRel(textBase+uint64(callAt), textBase+uint64(fOff))
+	p := isa.EncodeCall(rel)
+	copy(a.Bytes()[callAt:], p[:])
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if got := c.Stats().Mispredicts; got != 0 {
+		t.Errorf("matched call/ret mispredicted %d times", got)
+	}
+}
+
+func TestIndirectCallPrediction(t *testing.T) {
+	var a isa.Asm
+	a.Movi(1, 0) // counter
+	a.Movi(2, 0) // placeholder for target, fixed below
+	moviAt := a.Len() - 10
+	loop := a.Len()
+	a.CallR(2)
+	a.AluI(isa.ADDI, 1, 1)
+	a.CmpI(1, 100)
+	jccAt := a.Len()
+	a.Jcc(isa.LT, int32(loop-(jccAt+6)))
+	a.Hlt()
+	fOff := a.Len()
+	a.Ret()
+	// Fix the MOVI target immediate.
+	target := textBase + uint64(fOff)
+	code := a.Bytes()
+	for i := 0; i < 8; i++ {
+		code[moviAt+2+i] = byte(target >> (8 * i))
+	}
+	c := newVM(t, code)
+	run(t, c)
+	st := c.Stats()
+	// First indirect call mispredicts (plus the loop branch warmup);
+	// subsequent ones hit the BTB.
+	if st.Mispredicts > 4 {
+		t.Errorf("mispredicts = %d, want <= 4", st.Mispredicts)
+	}
+	if st.Calls != 100 {
+		t.Errorf("calls = %d, want 100", st.Calls)
+	}
+}
+
+func TestXchg(t *testing.T) {
+	var a isa.Asm
+	a.Movi(1, int64(dataBase))
+	a.Movi(0, 5)
+	a.St(1, 0, 8, 0) // mem = 5
+	a.Movi(2, 9)
+	a.Xchg(1, 2) // r2 = 5, mem = 9
+	a.Ld(3, 1, 8, 0)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(2) != 5 || c.Reg(3) != 9 {
+		t.Errorf("r2, r3 = %d, %d; want 5, 9", c.Reg(2), c.Reg(3))
+	}
+}
+
+func TestCliStiNativeVsGuest(t *testing.T) {
+	prog := func() []byte {
+		var a isa.Asm
+		a.Sti()
+		a.Cli()
+		a.Hlt()
+		return a.Bytes()
+	}
+	c := newVM(t, prog())
+	run(t, c)
+	nativeCycles := c.Cycles()
+	if c.InterruptsEnabled() {
+		t.Error("interrupts enabled after CLI")
+	}
+
+	g := newVM(t, prog())
+	g.SetMode(Guest)
+	run(t, g)
+	if g.Cycles() <= nativeCycles {
+		t.Errorf("guest CLI/STI (%d cycles) not slower than native (%d)", g.Cycles(), nativeCycles)
+	}
+	cfg := DefaultConfig()
+	wantExtra := uint64(2 * (cfg.GuestTrapCost - cfg.CostCliSti))
+	if g.Cycles()-nativeCycles != wantExtra {
+		t.Errorf("guest overhead = %d cycles, want %d", g.Cycles()-nativeCycles, wantExtra)
+	}
+}
+
+type fakeHV struct {
+	calls []uint8
+}
+
+func (h *fakeHV) Hypercall(c *CPU, n uint8) error {
+	h.calls = append(h.calls, n)
+	switch n {
+	case 1:
+		c.SetInterruptsEnabled(true)
+	case 2:
+		c.SetInterruptsEnabled(false)
+	}
+	return nil
+}
+
+func TestHypercall(t *testing.T) {
+	var a isa.Asm
+	a.Hcall(1)
+	a.Hcall(2)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	hv := &fakeHV{}
+	c.SetHypervisor(hv)
+	run(t, c)
+	if len(hv.calls) != 2 || hv.calls[0] != 1 || hv.calls[1] != 2 {
+		t.Errorf("hypercalls = %v", hv.calls)
+	}
+	if c.InterruptsEnabled() {
+		t.Error("interrupts should be off after hcall 2")
+	}
+}
+
+func TestHypercallWithoutHypervisorFaults(t *testing.T) {
+	var a isa.Asm
+	a.Hcall(1)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	if _, err := c.Run(10); err == nil {
+		t.Error("HCALL without hypervisor succeeded")
+	}
+}
+
+func TestRdtscMonotonic(t *testing.T) {
+	var a isa.Asm
+	a.Rdtsc(0)
+	a.AluI(isa.ADDI, 5, 1)
+	a.Rdtsc(1)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(1) <= c.Reg(0) {
+		t.Errorf("rdtsc not monotonic: %d then %d", c.Reg(0), c.Reg(1))
+	}
+}
+
+func TestDeviceIO(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 'X')
+	a.OutB(1, 0)
+	a.InB(2, 7)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	var out []byte
+	c.OutB = func(port uint8, b byte) {
+		if port == 1 {
+			out = append(out, b)
+		}
+	}
+	c.InB = func(port uint8) byte {
+		if port == 7 {
+			return 0x5A
+		}
+		return 0
+	}
+	run(t, c)
+	if string(out) != "X" {
+		t.Errorf("out = %q", out)
+	}
+	if c.Reg(2) != 0x5A {
+		t.Errorf("in = %#x", c.Reg(2))
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 1)
+	a.Movi(1, 0)
+	a.Alu(isa.DIV, 0, 1)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	_, err := c.Run(10)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v, want division by zero", err)
+	}
+}
+
+func TestExecFaultOnDataPage(t *testing.T) {
+	var a isa.Asm
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	c.SetPC(dataBase) // rw- page
+	_, err := c.Run(1)
+	if err == nil {
+		t.Error("executing from rw- page succeeded")
+	}
+}
+
+func TestStaleICacheUntilFlush(t *testing.T) {
+	// Program: movi r0, 1; hlt. Patch the immediate to 2 behind the
+	// icache's back: without a flush the CPU must still see 1.
+	var a isa.Asm
+	a.Movi(0, 1)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(0) != 1 {
+		t.Fatalf("r0 = %d", c.Reg(0))
+	}
+
+	// Patch via WriteForce (kernel-style, ignores RX).
+	var b isa.Asm
+	b.Movi(0, 2)
+	if err := c.Mem.WriteForce(textBase, b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetPC(textBase)
+	run(t, c)
+	if c.Reg(0) != 1 {
+		t.Errorf("r0 = %d after unflushed patch, want stale 1", c.Reg(0))
+	}
+
+	c.FlushICache(textBase, uint64(b.Len()))
+	c.SetPC(textBase)
+	run(t, c)
+	if c.Reg(0) != 2 {
+		t.Errorf("r0 = %d after flush, want 2", c.Reg(0))
+	}
+}
+
+func TestNopnSkipsCorrectly(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 7)
+	a.Nop(13)
+	a.AluI(isa.ADDI, 0, 1)
+	a.Nop(2)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(0) != 8 {
+		t.Errorf("r0 = %d, want 8", c.Reg(0))
+	}
+}
+
+func TestRunMaxStepsExceeded(t *testing.T) {
+	var a isa.Asm
+	a.Jmp(-5) // tight infinite loop
+	c := newVM(t, a.Bytes())
+	if _, err := c.Run(100); err == nil {
+		t.Error("infinite loop terminated without error")
+	}
+}
+
+func TestStepOnHaltedCPUFails(t *testing.T) {
+	var a isa.Asm
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if err := c.Step(); err == nil {
+		t.Error("Step on halted CPU succeeded")
+	}
+}
+
+func TestDeterministicCycles(t *testing.T) {
+	prog := func() *CPU {
+		var a isa.Asm
+		a.Movi(1, 0)
+		loop := a.Len()
+		a.AluI(isa.ADDI, 1, 1)
+		a.CmpI(1, 500)
+		jccAt := a.Len()
+		a.Jcc(isa.LT, int32(loop-(jccAt+6)))
+		a.Hlt()
+		return newVM(t, a.Bytes())
+	}
+	c1, c2 := prog(), prog()
+	run(t, c1)
+	run(t, c2)
+	if c1.Cycles() != c2.Cycles() {
+		t.Errorf("cycles differ: %d vs %d", c1.Cycles(), c2.Cycles())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with non-power-of-two BTB did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.BTBSize = 100
+	New(mem.New(), cfg)
+}
+
+func TestSpAdd(t *testing.T) {
+	var a isa.Asm
+	a.SpAdd(-32)
+	a.SpAdd(32)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(isa.SP) != stackTop {
+		t.Errorf("sp = %#x, want %#x", c.Reg(isa.SP), stackTop)
+	}
+}
+
+func TestLea(t *testing.T) {
+	var a isa.Asm
+	a.Movi(1, 100)
+	a.Lea(0, 1, -4)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	run(t, c)
+	if c.Reg(0) != 96 {
+		t.Errorf("lea = %d, want 96", c.Reg(0))
+	}
+}

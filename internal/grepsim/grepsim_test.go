@@ -1,0 +1,185 @@
+package grepsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCorpusIsHexLines(t *testing.T) {
+	c := Corpus(1024)
+	if len(c) != 1024 {
+		t.Fatalf("len = %d", len(c))
+	}
+	lines := bytes.Split(c, []byte{'\n'})
+	for i, l := range lines[:len(lines)-1] {
+		if len(l) != 16 {
+			t.Fatalf("line %d has length %d", i, len(l))
+		}
+		for _, b := range l {
+			if !(b >= '0' && b <= '9' || b >= 'a' && b <= 'f') {
+				t.Fatalf("non-hex byte %q", b)
+			}
+		}
+	}
+	// Deterministic.
+	if !bytes.Equal(c, Corpus(1024)) {
+		t.Error("corpus not deterministic")
+	}
+}
+
+func TestMatchCountAgainstReference(t *testing.T) {
+	for _, b := range []Build{Plain, Multiverse} {
+		g, err := BuildGrep(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetMode(false); err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.Matches()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceMatches(Corpus(CorpusSize))
+		if got != want {
+			t.Errorf("%v: matches = %d, want %d", b, got, want)
+		}
+		if want == 0 {
+			t.Fatal("corpus has no matches; benchmark is degenerate")
+		}
+		// Mode must not change the result on an ASCII corpus.
+		if err := g.SetMode(true); err != nil {
+			t.Fatal(err)
+		}
+		got2, err := g.Matches()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got2 != want {
+			t.Errorf("%v multibyte mode: matches = %d, want %d", b, got2, want)
+		}
+	}
+}
+
+func TestCustomCorpusAndOverflow(t *testing.T) {
+	g, err := BuildGrep(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LoadCorpus([]byte("aba\naxa\nzzz\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Matches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("matches = %d, want 2", got)
+	}
+	if err := g.LoadCorpus(make([]byte, CorpusSize+1)); err == nil {
+		t.Error("oversized corpus accepted")
+	}
+}
+
+func TestEndToEndImprovementShape(t *testing.T) {
+	plain, err := BuildGrep(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := BuildGrep(Multiverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-byte locale, like the paper's benchmark setup.
+	if err := plain.SetMode(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.SetMode(false); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plain.Measure(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mv.Measure(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduction := (p.Mean - v.Mean) / p.Mean * 100
+	// Paper: 2.73 % end-to-end. Shape: a small but definite win,
+	// nowhere near the 40-50 % of the musl microbenchmarks.
+	if reduction <= 0.5 {
+		t.Errorf("no end-to-end win: plain %.0f, mv %.0f (%.2f%%)", p.Mean, v.Mean, reduction)
+	}
+	if reduction > 15 {
+		t.Errorf("implausibly large end-to-end win %.2f%%", reduction)
+	}
+}
+
+func TestMultibyteModeAlsoImproves(t *testing.T) {
+	// Binding mode=1 removes the per-line mode branch but keeps the
+	// prescan: the win is smaller than the single-byte case yet real.
+	plain, err := BuildGrep(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := BuildGrep(Multiverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.SetMode(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.SetMode(true); err != nil {
+		t.Fatal(err)
+	}
+	p, err := plain.Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mv.Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mean >= p.Mean {
+		t.Errorf("multibyte: mv %.0f >= plain %.0f", v.Mean, p.Mean)
+	}
+	// Multibyte mode costs more than single-byte mode overall.
+	if err := mv.SetMode(false); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := mv.Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Mean >= v.Mean {
+		t.Errorf("prescan free? single-byte %.0f >= multibyte %.0f", sb.Mean, v.Mean)
+	}
+}
+
+func TestHighBitCorpusCountsMBChars(t *testing.T) {
+	g, err := BuildGrep(Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LoadCorpus([]byte{0xC3, 0xA4, 'a', 'x', 'a', '\n'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetMode(true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Matches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("matches = %d, want 1", got)
+	}
+	mb, err := g.sys.Machine.ReadGlobal("mb_chars", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb != 2 {
+		t.Errorf("mb_chars = %d, want 2 (prescan missed the UTF-8 bytes)", mb)
+	}
+}

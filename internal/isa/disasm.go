@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a decoded instruction at the given address as
+// assembler text. The address is used to resolve relative branch
+// targets into absolute ones.
+func (in Inst) Format(addr uint64) string {
+	end := addr + uint64(in.Len)
+	switch in.Op {
+	case HLT, NOP, RET, PAUSE, CLI, STI:
+		return in.Op.String()
+	case NOPN:
+		return fmt.Sprintf("nop%d", in.Len)
+	case MOVI:
+		return fmt.Sprintf("movi %v, %d", in.Rd, in.Imm)
+	case MOV, CMP, ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SAR, XCHG, UDIV, UMOD:
+		return fmt.Sprintf("%v %v, %v", in.Op, in.Rd, in.Rs)
+	case NEG, NOT:
+		return fmt.Sprintf("%v %v", in.Op, in.Rd)
+	case LD, LDS:
+		return fmt.Sprintf("%v%d %v, [%v%+d]", in.Op, in.Size*8, in.Rd, in.Rs, in.Imm)
+	case ST:
+		return fmt.Sprintf("st%d [%v%+d], %v", in.Size*8, in.Rd, in.Imm, in.Rs)
+	case LEA:
+		return fmt.Sprintf("lea %v, [%v%+d]", in.Rd, in.Rs, in.Imm)
+	case ADDI, SUBI, MULI, DIVI, MODI, ANDI, ORI, XORI, SHLI, SHRI, SARI, CMPI:
+		return fmt.Sprintf("%v %v, %d", in.Op, in.Rd, in.Imm)
+	case SETCC:
+		return fmt.Sprintf("set%v %v", in.Cond, in.Rd)
+	case JCC:
+		return fmt.Sprintf("j%v %#x", in.Cond, end+uint64(in.Imm))
+	case JMP, CALL:
+		return fmt.Sprintf("%v %#x", in.Op, end+uint64(in.Imm))
+	case CLLR:
+		return fmt.Sprintf("callr %v", in.Rs)
+	case CLLM:
+		return fmt.Sprintf("callm [%#x]", uint64(in.Imm))
+	case PUSH, POP, RDTSC:
+		return fmt.Sprintf("%v %v", in.Op, in.Rd)
+	case SPAD:
+		return fmt.Sprintf("spadd %d", in.Imm)
+	case HCALL:
+		return fmt.Sprintf("hcall %d", in.Imm)
+	case OUTB:
+		return fmt.Sprintf("outb %d, %v", in.Imm, in.Rs)
+	case INB:
+		return fmt.Sprintf("inb %v, %d", in.Rd, in.Imm)
+	}
+	return fmt.Sprintf("op%#02x", uint8(in.Op))
+}
+
+// Disassemble renders the instruction stream in code, assuming it is
+// loaded at base. Undecodable bytes are rendered as .byte directives
+// one at a time so that the stream can resynchronize.
+func Disassemble(code []byte, base uint64) string {
+	var sb strings.Builder
+	off := 0
+	for off < len(code) {
+		in, err := Decode(code[off:])
+		if err != nil {
+			fmt.Fprintf(&sb, "%#08x: .byte %#02x\n", base+uint64(off), code[off])
+			off++
+			continue
+		}
+		fmt.Fprintf(&sb, "%#08x: %s\n", base+uint64(off), in.Format(base+uint64(off)))
+		off += in.Len
+	}
+	return sb.String()
+}

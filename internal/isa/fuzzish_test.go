@@ -1,0 +1,151 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnRandomBytes throws random byte soup at the
+// decoder; it must return an error or a well-formed instruction, never
+// panic, and never claim a length beyond the input.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		in, err := Decode(b)
+		if err != nil {
+			return true
+		}
+		return in.Len > 0 && in.Len <= len(b)
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeAllSingleOpcodes probes every opcode byte with a generous
+// zero-filled tail.
+func TestDecodeAllSingleOpcodes(t *testing.T) {
+	for op := 0; op < 256; op++ {
+		buf := make([]byte, 16)
+		buf[0] = byte(op)
+		switch Op(op) {
+		case NOPN:
+			buf[1] = 4
+		case LD, LDS, ST:
+			buf[3] = 8 // valid access size
+		}
+		in, err := Decode(buf)
+		if Op(op).Valid() {
+			if err != nil {
+				t.Errorf("valid opcode %#02x failed to decode: %v", op, err)
+			} else if in.Op != Op(op) {
+				t.Errorf("opcode %#02x decoded as %v", op, in.Op)
+			}
+		} else if err == nil {
+			t.Errorf("invalid opcode %#02x decoded", op)
+		}
+	}
+}
+
+// randomInst emits one random valid instruction and returns its
+// expected decoded form.
+func randomInst(rng *rand.Rand, a *Asm) Inst {
+	reg := func() Reg { return Reg(rng.Intn(NumRegs)) }
+	size := []int{1, 2, 4, 8}[rng.Intn(4)]
+	imm32 := int32(rng.Uint32())
+	imm64 := int64(rng.Uint64())
+	switch rng.Intn(14) {
+	case 0:
+		a.Movi(0, imm64)
+		return Inst{Op: MOVI, Len: 10, Rd: 0, Imm: imm64}
+	case 1:
+		r1, r2 := reg(), reg()
+		a.Mov(r1, r2)
+		return Inst{Op: MOV, Len: 3, Rd: r1, Rs: r2}
+	case 2:
+		r1, r2 := reg(), reg()
+		a.Ld(r1, r2, size, imm32)
+		return Inst{Op: LD, Len: 8, Rd: r1, Rs: r2, Size: size, Imm: int64(imm32)}
+	case 3:
+		r1, r2 := reg(), reg()
+		a.St(r1, r2, size, imm32)
+		return Inst{Op: ST, Len: 8, Rd: r1, Rs: r2, Size: size, Imm: int64(imm32)}
+	case 4:
+		ops := []Op{ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SAR, UDIV, UMOD}
+		op := ops[rng.Intn(len(ops))]
+		r1, r2 := reg(), reg()
+		a.Alu(op, r1, r2)
+		return Inst{Op: op, Len: 3, Rd: r1, Rs: r2}
+	case 5:
+		ops := []Op{ADDI, SUBI, MULI, DIVI, MODI, ANDI, ORI, XORI, SHLI, SHRI, SARI}
+		op := ops[rng.Intn(len(ops))]
+		r := reg()
+		a.AluI(op, r, imm32)
+		return Inst{Op: op, Len: 6, Rd: r, Imm: int64(imm32)}
+	case 6:
+		cc := Cond(rng.Intn(int(NumConds)))
+		a.Jcc(cc, imm32)
+		return Inst{Op: JCC, Len: 6, Cond: cc, Imm: int64(imm32)}
+	case 7:
+		a.Call(imm32)
+		return Inst{Op: CALL, Len: 5, Imm: int64(imm32)}
+	case 8:
+		r := reg()
+		a.CallR(r)
+		return Inst{Op: CLLR, Len: 5, Rs: r}
+	case 9:
+		a.CallM(uint64(imm64))
+		return Inst{Op: CLLM, Len: 9, Imm: imm64}
+	case 10:
+		r := reg()
+		cc := Cond(rng.Intn(int(NumConds)))
+		a.SetCC(r, cc)
+		return Inst{Op: SETCC, Len: 3, Rd: r, Cond: cc}
+	case 11:
+		n := 2 + rng.Intn(254)
+		a.Nop(n)
+		return Inst{Op: NOPN, Len: n}
+	case 12:
+		r1, r2 := reg(), reg()
+		a.Lds(r1, r2, size, imm32)
+		return Inst{Op: LDS, Len: 8, Rd: r1, Rs: r2, Size: size, Imm: int64(imm32)}
+	default:
+		r := reg()
+		a.Lea(r, reg(), imm32)
+		in, err := Decode(a.Bytes()[a.Len()-7:])
+		if err != nil {
+			panic(err)
+		}
+		return in
+	}
+}
+
+// TestRandomStreamsRoundTrip encodes long random instruction streams
+// and verifies the decoder walks them back exactly.
+func TestRandomStreamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var a Asm
+		var want []Inst
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			want = append(want, randomInst(rng, &a))
+		}
+		code := a.Bytes()
+		off := 0
+		for i, w := range want {
+			in, err := Decode(code[off:])
+			if err != nil {
+				t.Fatalf("trial %d inst %d: %v", trial, i, err)
+			}
+			if in != w {
+				t.Fatalf("trial %d inst %d: got %+v want %+v", trial, i, in, w)
+			}
+			off += in.Len
+		}
+		if off != len(code) {
+			t.Fatalf("trial %d: stream length mismatch", trial)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package isa defines m64, the byte-encoded 64-bit instruction set used
+// by the multiverse reproduction.
+//
+// m64 is deliberately x86-like in the properties that matter to the
+// paper: instructions are variable length, a direct CALL occupies
+// exactly 5 bytes (opcode + rel32), and an indirect CALLR is padded to
+// the same 5 bytes so that every call site is a uniform patch unit.
+// Multi-byte NOPs of any length exist so that a patched-out call site
+// can be erased in place.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers. Register 15 is
+// the stack pointer by software convention (PUSH/POP update it).
+const NumRegs = 16
+
+// SP is the register used as the stack pointer.
+const SP = 15
+
+// Reg identifies a general-purpose register.
+type Reg uint8
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	if r == SP {
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op is an m64 opcode.
+type Op uint8
+
+// Opcode space. Gaps are reserved.
+const (
+	HLT  Op = 0x00 // halt the CPU
+	NOP  Op = 0x01 // 1-byte no-op
+	NOPN Op = 0x02 // multi-byte no-op: [op][len8][pad...], total length len8
+
+	MOVI Op = 0x10 // rd <- imm64
+	MOV  Op = 0x11 // rd <- rs
+	LD   Op = 0x12 // rd <- zeroext(mem[rb+disp32], size8)
+	LDS  Op = 0x13 // rd <- signext(mem[rb+disp32], size8)
+	ST   Op = 0x14 // mem[rb+disp32] <- low size8 bytes of rs
+	LEA  Op = 0x15 // rd <- rb + disp32
+
+	ADD  Op = 0x20 // rd += rs
+	SUB  Op = 0x21
+	MUL  Op = 0x22
+	DIV  Op = 0x23 // signed; divide by zero faults
+	MOD  Op = 0x24 // signed remainder
+	AND  Op = 0x25
+	OR   Op = 0x26
+	XOR  Op = 0x27
+	SHL  Op = 0x28
+	SHR  Op = 0x29 // logical
+	SAR  Op = 0x2A // arithmetic
+	NEG  Op = 0x2B // rd = -rd
+	NOT  Op = 0x2C // rd = ^rd
+	UDIV Op = 0x2D // unsigned divide; divide by zero faults
+	UMOD Op = 0x2E // unsigned remainder
+
+	ADDI Op = 0x30 // rd += signext(imm32)
+	SUBI Op = 0x31
+	MULI Op = 0x32
+	DIVI Op = 0x33
+	MODI Op = 0x34
+	ANDI Op = 0x35
+	ORI  Op = 0x36
+	XORI Op = 0x37
+	SHLI Op = 0x38
+	SHRI Op = 0x39
+	SARI Op = 0x3A
+
+	CMP   Op = 0x40 // compare rs1, rs2; sets condition state
+	CMPI  Op = 0x41 // compare rs, signext(imm32)
+	SETCC Op = 0x42 // [op][rd][cc8]: rd <- 1 if condition holds else 0
+
+	JCC  Op = 0x48 // [op][cc8][rel32]; jump relative to end of insn
+	JMP  Op = 0x4F // [op][rel32]
+	CALL Op = 0x50 // [op][rel32]; 5 bytes — the patch unit
+	CLLR Op = 0x51 // [op][reg][pad][pad][pad]; 5 bytes — patchable indirect call
+	CLLM Op = 0x56 // [op][abs64]; 9 bytes — call through a pointer in memory
+	RET  Op = 0x52
+	PUSH Op = 0x53 // sp -= 8; mem[sp] = rs
+	POP  Op = 0x54 // rd = mem[sp]; sp += 8
+	SPAD Op = 0x55 // sp += signext(imm32)
+
+	XCHG  Op = 0x60 // atomically swap 64-bit mem[rb] and rs
+	PAUSE Op = 0x62 // spin-loop hint
+	CLI   Op = 0x63 // disable interrupts (privileged)
+	STI   Op = 0x64 // enable interrupts (privileged)
+	HCALL Op = 0x65 // [op][imm8]: hypercall
+	RDTSC Op = 0x66 // rd <- cycle counter
+	OUTB  Op = 0x67 // [op][port8][rs]: write low byte of rs to device port
+	INB   Op = 0x68 // [op][rd][port8]: read byte from device port
+)
+
+// Cond is a condition code for JCC. Comparisons are evaluated against
+// the operands of the most recent CMP/CMPI.
+type Cond uint8
+
+const (
+	EQ Cond = iota
+	NE
+	LT // signed
+	LE
+	GT
+	GE
+	B // unsigned below
+	BE
+	A // unsigned above
+	AE
+	NumConds
+)
+
+// Neg returns the logically negated condition.
+func (c Cond) Neg() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	case B:
+		return AE
+	case BE:
+		return A
+	case A:
+		return BE
+	case AE:
+		return B
+	}
+	panic(fmt.Sprintf("isa: invalid condition %d", c))
+}
+
+// Swap returns the condition that holds for (b, a) when c holds for
+// (a, b); used when canonicalizing compare operand order.
+func (c Cond) Swap() Cond {
+	switch c {
+	case EQ, NE:
+		return c
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	case B:
+		return A
+	case BE:
+		return AE
+	case A:
+		return B
+	case AE:
+		return BE
+	}
+	panic(fmt.Sprintf("isa: invalid condition %d", c))
+}
+
+var condNames = [NumConds]string{"eq", "ne", "lt", "le", "gt", "ge", "b", "be", "a", "ae"}
+
+// String returns the assembler suffix of the condition.
+func (c Cond) String() string {
+	if c < NumConds {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc%d", uint8(c))
+}
+
+// Eval reports whether the condition holds for signed operands a, b
+// (unsigned conditions reinterpret the bits).
+func (c Cond) Eval(a, b int64) bool {
+	ua, ub := uint64(a), uint64(b)
+	switch c {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	case B:
+		return ua < ub
+	case BE:
+		return ua <= ub
+	case A:
+		return ua > ub
+	case AE:
+		return ua >= ub
+	}
+	panic(fmt.Sprintf("isa: invalid condition %d", c))
+}
+
+// CallSiteLen is the byte length of a patchable direct call site
+// (direct CALL and padded indirect CALLR). It mirrors the 5-byte far
+// call of IA-32 that the paper's inlining optimization keys on.
+const CallSiteLen = 5
+
+// MemCallSiteLen is the byte length of a memory-indirect call site
+// (CLLM), the form emitted for multiverse function-pointer switches —
+// the analogue of the kernel's patchable "call *pv_ops.field" sites.
+const MemCallSiteLen = 9
+
+var opNames = map[Op]string{
+	HLT: "hlt", NOP: "nop", NOPN: "nopn",
+	MOVI: "movi", MOV: "mov", LD: "ld", LDS: "lds", ST: "st", LEA: "lea",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", MOD: "mod",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr", SAR: "sar",
+	NEG: "neg", NOT: "not", UDIV: "udiv", UMOD: "umod",
+	ADDI: "addi", SUBI: "subi", MULI: "muli", DIVI: "divi", MODI: "modi",
+	ANDI: "andi", ORI: "ori", XORI: "xori", SHLI: "shli", SHRI: "shri", SARI: "sari",
+	CMP: "cmp", CMPI: "cmpi", SETCC: "set",
+	JCC: "j", JMP: "jmp", CALL: "call", CLLR: "callr", CLLM: "callm", RET: "ret",
+	PUSH: "push", POP: "pop", SPAD: "spadd",
+	XCHG: "xchg", PAUSE: "pause", CLI: "cli", STI: "sti",
+	HCALL: "hcall", RDTSC: "rdtsc", OUTB: "outb", INB: "inb",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%#02x", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool {
+	_, ok := opNames[o]
+	return ok
+}

@@ -1,0 +1,319 @@
+package isa
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondNeg(t *testing.T) {
+	for c := Cond(0); c < NumConds; c++ {
+		if c.Neg().Neg() != c {
+			t.Errorf("Neg(Neg(%v)) = %v, want %v", c, c.Neg().Neg(), c)
+		}
+		if c.Neg() == c {
+			t.Errorf("Neg(%v) must differ from %v", c, c)
+		}
+	}
+}
+
+func TestCondNegEval(t *testing.T) {
+	pairs := [][2]int64{{0, 0}, {1, 2}, {2, 1}, {-1, 1}, {1, -1}, {-5, -5},
+		{math.MaxInt64, math.MinInt64}, {math.MinInt64, math.MaxInt64}}
+	for c := Cond(0); c < NumConds; c++ {
+		for _, p := range pairs {
+			if c.Eval(p[0], p[1]) == c.Neg().Eval(p[0], p[1]) {
+				t.Errorf("cond %v and its negation agree on (%d, %d)", c, p[0], p[1])
+			}
+		}
+	}
+}
+
+func TestCondSwapEval(t *testing.T) {
+	f := func(a, b int64) bool {
+		for c := Cond(0); c < NumConds; c++ {
+			if c.Eval(a, b) != c.Swap().Eval(b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondEvalSignedVsUnsigned(t *testing.T) {
+	// -1 is the largest unsigned value.
+	if !LT.Eval(-1, 0) {
+		t.Error("LT.Eval(-1, 0) = false, want true (signed)")
+	}
+	if B.Eval(-1, 0) {
+		t.Error("B.Eval(-1, 0) = true, want false (unsigned)")
+	}
+	if !A.Eval(-1, 0) {
+		t.Error("A.Eval(-1, 0) = false, want true (unsigned)")
+	}
+}
+
+// encodeAll emits one instance of every instruction form and returns
+// the expected decoded sequence.
+func encodeAll() (*Asm, []Inst) {
+	var a Asm
+	var want []Inst
+	emit := func(f func(*Asm), in Inst) {
+		f(&a)
+		want = append(want, in)
+	}
+	emit(func(a *Asm) { a.Hlt() }, Inst{Op: HLT, Len: 1})
+	emit(func(a *Asm) { a.Nop(1) }, Inst{Op: NOP, Len: 1})
+	emit(func(a *Asm) { a.Nop(2) }, Inst{Op: NOPN, Len: 2})
+	emit(func(a *Asm) { a.Nop(5) }, Inst{Op: NOPN, Len: 5})
+	emit(func(a *Asm) { a.Nop(255) }, Inst{Op: NOPN, Len: 255})
+	emit(func(a *Asm) { a.Movi(3, -12345678901234) }, Inst{Op: MOVI, Len: 10, Rd: 3, Imm: -12345678901234})
+	emit(func(a *Asm) { a.Mov(1, 2) }, Inst{Op: MOV, Len: 3, Rd: 1, Rs: 2})
+	emit(func(a *Asm) { a.Ld(4, 5, 8, -16) }, Inst{Op: LD, Len: 8, Rd: 4, Rs: 5, Size: 8, Imm: -16})
+	emit(func(a *Asm) { a.Lds(4, 5, 2, 100) }, Inst{Op: LDS, Len: 8, Rd: 4, Rs: 5, Size: 2, Imm: 100})
+	emit(func(a *Asm) { a.St(6, 7, 4, 8) }, Inst{Op: ST, Len: 8, Rd: 6, Rs: 7, Size: 4, Imm: 8})
+	emit(func(a *Asm) { a.Lea(2, SP, 24) }, Inst{Op: LEA, Len: 7, Rd: 2, Rs: SP, Imm: 24})
+	for _, op := range []Op{ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SAR} {
+		op := op
+		emit(func(a *Asm) { a.Alu(op, 8, 9) }, Inst{Op: op, Len: 3, Rd: 8, Rs: 9})
+	}
+	emit(func(a *Asm) { a.Alu(NEG, 3, 0) }, Inst{Op: NEG, Len: 2, Rd: 3})
+	emit(func(a *Asm) { a.Alu(NOT, 4, 0) }, Inst{Op: NOT, Len: 2, Rd: 4})
+	for _, op := range []Op{ADDI, SUBI, MULI, DIVI, MODI, ANDI, ORI, XORI, SHLI, SHRI, SARI} {
+		op := op
+		emit(func(a *Asm) { a.AluI(op, 10, -7) }, Inst{Op: op, Len: 6, Rd: 10, Imm: -7})
+	}
+	emit(func(a *Asm) { a.Cmp(1, 2) }, Inst{Op: CMP, Len: 3, Rd: 1, Rs: 2})
+	emit(func(a *Asm) { a.CmpI(1, 42) }, Inst{Op: CMPI, Len: 6, Rd: 1, Imm: 42})
+	emit(func(a *Asm) { a.Jcc(NE, -6) }, Inst{Op: JCC, Len: 6, Cond: NE, Imm: -6})
+	emit(func(a *Asm) { a.Jmp(1000) }, Inst{Op: JMP, Len: 5, Imm: 1000})
+	emit(func(a *Asm) { a.Call(-1000) }, Inst{Op: CALL, Len: 5, Imm: -1000})
+	emit(func(a *Asm) { a.CallR(11) }, Inst{Op: CLLR, Len: 5, Rs: 11})
+	emit(func(a *Asm) { a.Ret() }, Inst{Op: RET, Len: 1})
+	emit(func(a *Asm) { a.Push(12) }, Inst{Op: PUSH, Len: 2, Rd: 12})
+	emit(func(a *Asm) { a.Pop(13) }, Inst{Op: POP, Len: 2, Rd: 13})
+	emit(func(a *Asm) { a.SpAdd(-64) }, Inst{Op: SPAD, Len: 5, Imm: -64})
+	emit(func(a *Asm) { a.Xchg(1, 2) }, Inst{Op: XCHG, Len: 3, Rd: 1, Rs: 2})
+	emit(func(a *Asm) { a.Pause() }, Inst{Op: PAUSE, Len: 1})
+	emit(func(a *Asm) { a.Cli() }, Inst{Op: CLI, Len: 1})
+	emit(func(a *Asm) { a.Sti() }, Inst{Op: STI, Len: 1})
+	emit(func(a *Asm) { a.Hcall(3) }, Inst{Op: HCALL, Len: 2, Imm: 3})
+	emit(func(a *Asm) { a.Rdtsc(5) }, Inst{Op: RDTSC, Len: 2, Rd: 5})
+	emit(func(a *Asm) { a.OutB(1, 6) }, Inst{Op: OUTB, Len: 3, Rs: 6, Imm: 1})
+	emit(func(a *Asm) { a.InB(7, 2) }, Inst{Op: INB, Len: 3, Rd: 7, Imm: 2})
+	return &a, want
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a, want := encodeAll()
+	code := a.Bytes()
+	off := 0
+	for i, w := range want {
+		in, err := Decode(code[off:])
+		if err != nil {
+			t.Fatalf("inst %d (%v): decode: %v", i, w.Op, err)
+		}
+		if in != w {
+			t.Errorf("inst %d: decoded %+v, want %+v", i, in, w)
+		}
+		off += in.Len
+	}
+	if off != len(code) {
+		t.Errorf("decoded %d bytes, encoded %d", off, len(code))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err != ErrTruncated {
+		t.Errorf("Decode(nil) err = %v, want ErrTruncated", err)
+	}
+	// MOVI truncated after opcode+reg.
+	if _, err := Decode([]byte{byte(MOVI), 1, 2, 3}); err != ErrTruncated {
+		t.Errorf("truncated MOVI err = %v, want ErrTruncated", err)
+	}
+	// Unknown opcode.
+	if _, err := Decode([]byte{0xFF}); err == nil {
+		t.Error("Decode(0xFF) succeeded, want error")
+	}
+	// Invalid register.
+	if _, err := Decode([]byte{byte(MOV), 99, 0}); err == nil {
+		t.Error("MOV with register 99 decoded, want error")
+	}
+	// Invalid size.
+	if _, err := Decode([]byte{byte(LD), 0, 0, 3, 0, 0, 0, 0}); err == nil {
+		t.Error("LD with size 3 decoded, want error")
+	}
+	// NOPN length < 2.
+	if _, err := Decode([]byte{byte(NOPN), 1}); err == nil {
+		t.Error("NOPN with length 1 decoded, want error")
+	}
+	// Invalid condition.
+	if _, err := Decode([]byte{byte(JCC), 200, 0, 0, 0, 0}); err == nil {
+		t.Error("JCC with cc 200 decoded, want error")
+	}
+}
+
+func TestCallSiteEncodingsAreUniform(t *testing.T) {
+	var direct, indirect Asm
+	direct.Call(0)
+	indirect.CallR(3)
+	if direct.Len() != CallSiteLen {
+		t.Errorf("direct call is %d bytes, want %d", direct.Len(), CallSiteLen)
+	}
+	if indirect.Len() != CallSiteLen {
+		t.Errorf("indirect call is %d bytes, want %d", indirect.Len(), CallSiteLen)
+	}
+}
+
+func TestEncodeCallPatchesInPlace(t *testing.T) {
+	var a Asm
+	a.Call(100)
+	patched := EncodeCall(-50)
+	if len(patched) != CallSiteLen {
+		t.Fatalf("EncodeCall length = %d", len(patched))
+	}
+	in, err := Decode(patched[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != CALL || in.Imm != -50 {
+		t.Errorf("patched call decodes to %+v", in)
+	}
+}
+
+func TestEncodeJmp(t *testing.T) {
+	j := EncodeJmp(123)
+	in, err := Decode(j[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != JMP || in.Imm != 123 || in.Len != 5 {
+		t.Errorf("EncodeJmp decodes to %+v", in)
+	}
+}
+
+func TestEncodeNopLengths(t *testing.T) {
+	for n := 1; n <= 255; n++ {
+		b := EncodeNop(n)
+		if len(b) != n {
+			t.Fatalf("EncodeNop(%d) has %d bytes", n, len(b))
+		}
+		in, err := Decode(b)
+		if err != nil {
+			t.Fatalf("EncodeNop(%d): %v", n, err)
+		}
+		if in.Len != n {
+			t.Fatalf("EncodeNop(%d) decodes with length %d", n, in.Len)
+		}
+	}
+}
+
+func TestCallRel(t *testing.T) {
+	rel, err := CallRel(0x400000, 0x400100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != 0x100-CallSiteLen {
+		t.Errorf("rel = %d, want %d", rel, 0x100-CallSiteLen)
+	}
+	// Backwards.
+	rel, err = CallRel(0x400100, 0x400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(0x400100) + CallSiteLen + int64(rel); got != 0x400000 {
+		t.Errorf("backwards target = %#x, want 0x400000", got)
+	}
+	// Out of range.
+	if _, err := CallRel(0, 1<<40); err == nil {
+		t.Error("CallRel with 2^40 displacement succeeded, want error")
+	}
+}
+
+func TestDisassembleResync(t *testing.T) {
+	var a Asm
+	a.Movi(1, 7)
+	code := append(a.Bytes(), 0xFF) // trailing junk
+	out := Disassemble(code, 0x1000)
+	if !strings.Contains(out, "movi r1, 7") {
+		t.Errorf("disassembly missing movi: %q", out)
+	}
+	if !strings.Contains(out, ".byte 0xff") {
+		t.Errorf("disassembly missing .byte for junk: %q", out)
+	}
+}
+
+func TestDisassembleBranchTargets(t *testing.T) {
+	var a Asm
+	a.Jmp(11) // at 0x1000, len 5, target 0x1000+5+11 = 0x1010
+	out := Disassemble(a.Bytes(), 0x1000)
+	if !strings.Contains(out, "jmp 0x1010") {
+		t.Errorf("jmp target not resolved: %q", out)
+	}
+}
+
+func TestFormatAllOps(t *testing.T) {
+	a, want := encodeAll()
+	_ = a
+	for _, in := range want {
+		s := in.Format(0x400000)
+		if s == "" || strings.Contains(s, "op0x") {
+			t.Errorf("Format(%v) = %q", in.Op, s)
+		}
+	}
+}
+
+func TestNopPanics(t *testing.T) {
+	for _, n := range []int{0, -1, 256} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Nop(%d) did not panic", n)
+				}
+			}()
+			var a Asm
+			a.Nop(n)
+		}()
+	}
+}
+
+func TestAluPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Alu(JMP) did not panic")
+		}
+	}()
+	var a Asm
+	a.Alu(JMP, 0, 0)
+}
+
+func TestRegString(t *testing.T) {
+	if Reg(15).String() != "sp" {
+		t.Errorf("r15 = %q, want sp", Reg(15).String())
+	}
+	if Reg(3).String() != "r3" {
+		t.Errorf("Reg(3) = %q", Reg(3).String())
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !CALL.Valid() {
+		t.Error("CALL not valid")
+	}
+	if Op(0xEE).Valid() {
+		t.Error("0xEE reported valid")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a1, _ := encodeAll()
+	a2, _ := encodeAll()
+	if !bytes.Equal(a1.Bytes(), a2.Bytes()) {
+		t.Error("encoding is not deterministic")
+	}
+}

@@ -1,0 +1,99 @@
+package kernelsim
+
+import (
+	"math"
+	"testing"
+)
+
+// The simulator is fully deterministic, so the evaluation numbers in
+// EXPERIMENTS.md can be pinned exactly. These golden tests protect the
+// calibration: a change to the cost model, the code generator or the
+// runtime that shifts any cell shows up here first (and EXPERIMENTS.md
+// must then be regenerated with `go run ./cmd/mvbench`).
+
+func almost(got, want float64) bool {
+	return math.Abs(got-want) <= 1.0
+}
+
+func TestGoldenFig1(t *testing.T) {
+	want := map[Fig1Binding][2]float64{
+		Fig1Static:     {17, 53},
+		Fig1Dynamic:    {35, 75},
+		Fig1Multiverse: {22, 67},
+	}
+	for b, cells := range want {
+		for i, smp := range []bool{false, true} {
+			sys, err := BuildFig1(b, smp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Measure(DefaultMeasure())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(res.Mean, cells[i]) {
+				t.Errorf("%v smp=%v: %.2f cycles, golden %.2f (update EXPERIMENTS.md if intended)",
+					b, smp, res.Mean, cells[i])
+			}
+			if res.Std > 0.5 {
+				t.Errorf("%v smp=%v: nondeterministic (std %.2f)", b, smp, res.Std)
+			}
+		}
+	}
+}
+
+func TestGoldenFig4Spinlock(t *testing.T) {
+	want := map[SpinKernel][2]float64{
+		SpinMainline:   {67, 67},
+		SpinIf:         {50, 81},
+		SpinMultiverse: {24, 67},
+		SpinStaticUP:   {14, -1},
+	}
+	for k, cells := range want {
+		for i, smp := range []bool{false, true} {
+			if cells[i] < 0 {
+				continue
+			}
+			s, err := BuildSpin(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetSMP(smp); err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Measure(DefaultMeasure())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(res.Mean, cells[i]) {
+				t.Errorf("%v smp=%v: %.2f cycles, golden %.2f", k, smp, res.Mean, cells[i])
+			}
+		}
+	}
+}
+
+func TestGoldenFig4PVOps(t *testing.T) {
+	want := map[PVKernel][2]float64{
+		PVCurrent:    {6, 130},
+		PVMultiverse: {6, 118},
+		PVDisabled:   {6, -1},
+	}
+	for k, cells := range want {
+		for i, env := range []PVEnv{EnvNative, EnvXen} {
+			if cells[i] < 0 {
+				continue
+			}
+			p, err := BuildPV(k, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Measure(DefaultMeasure())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almost(res.Mean, cells[i]) {
+				t.Errorf("%v %v: %.2f cycles, golden %.2f", k, env, res.Mean, cells[i])
+			}
+		}
+	}
+}

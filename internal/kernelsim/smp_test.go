@@ -1,0 +1,225 @@
+package kernelsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// smpWorkload is a true-concurrency kernel fragment: two hardware
+// threads increment a shared counter under the multiversed spinlock.
+// The increment is deliberately a read-modify-write through a local so
+// that losing mutual exclusion loses updates.
+const smpWorkload = `
+	multiverse int config_smp;
+	ulong lock_word;
+	long shared_counter;
+
+	multiverse void spin_lock(ulong* l) {
+		if (config_smp) {
+			while (__xchg(l, 1)) {
+				while (*l) { __pause(); }
+			}
+		}
+	}
+	multiverse void spin_unlock(ulong* l) {
+		if (config_smp) { *l = 0; }
+	}
+
+	void worker(long n) {
+		for (long i = 0; i < n; i++) {
+			spin_lock(&lock_word);
+			long v = shared_counter;
+			long w = v + 1;
+			shared_counter = w;
+			spin_unlock(&lock_word);
+		}
+	}
+`
+
+func buildSMPWorkload(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.BuildSystem(core.GenOptions{}, nil,
+		core.Source{Name: "smp", Text: smpWorkload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// runTwoWorkers drives two CPUs through worker(n) with the given
+// interleaving quanta and returns the final shared counter.
+func runTwoWorkers(t *testing.T, sys *core.System, n uint64, q1, q2 int) int64 {
+	t.Helper()
+	m := sys.Machine
+	if err := m.WriteGlobal("shared_counter", 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.AddCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartCall(m.CPU, "worker", n); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartCall(c2, "worker", n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Interleave([]*cpu.CPU{m.CPU, c2}, []int{q1, q2}, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadGlobal("shared_counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(v)
+}
+
+func TestContendedSpinlockPreservesMutualExclusion(t *testing.T) {
+	const n = 300
+	// A spread of interleavings, including adversarial prime quanta
+	// that shift the phase every round.
+	for _, q := range [][2]int{{1, 1}, {1, 7}, {13, 3}, {50, 1}, {5, 5}} {
+		sys := buildSMPWorkload(t)
+		if err := sys.SetSwitch("config_smp", 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RT.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		got := runTwoWorkers(t, sys, n, q[0], q[1])
+		if got != 2*n {
+			t.Errorf("quanta %v: counter = %d, want %d (lost updates under lock!)", q, got, 2*n)
+		}
+	}
+}
+
+func TestElidedLockLosesUpdatesUnderContention(t *testing.T) {
+	// The flip side: committing the UP (elided) variant while two CPUs
+	// actually run is a usage error the paper leaves to the developer
+	// (§2: explicit commit, no synchronization). The simulator makes
+	// the consequence observable: updates get lost.
+	const n = 300
+	lost := false
+	for _, q := range [][2]int{{1, 1}, {1, 7}, {13, 3}} {
+		sys := buildSMPWorkload(t)
+		if err := sys.SetSwitch("config_smp", 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RT.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if got := runTwoWorkers(t, sys, n, q[0], q[1]); got < 2*n {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Error("no interleaving lost updates without the lock; the contention test is too weak")
+	}
+}
+
+func TestDynamicLockAlsoCorrectUnderContention(t *testing.T) {
+	// Without any commit the generic function evaluates config_smp
+	// dynamically — with the flag set, mutual exclusion must hold too.
+	const n = 200
+	sys := buildSMPWorkload(t)
+	if err := sys.SetSwitch("config_smp", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := runTwoWorkers(t, sys, n, 7, 3); got != 2*n {
+		t.Errorf("dynamic lock: counter = %d, want %d", got, 2*n)
+	}
+}
+
+func TestSecondCPUSeesPatchedCode(t *testing.T) {
+	// Binary patching must be visible to every hardware thread (they
+	// share memory; each has its own icache, cold at start).
+	sys := buildSMPWorkload(t)
+	if err := sys.SetSwitch("config_smp", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Machine
+	c2, err := m.AddCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartCall(c2, "worker", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadGlobal("shared_counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Errorf("secondary CPU result = %d, want 10", v)
+	}
+	lw, err := m.ReadGlobal("lock_word", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lw != 0 {
+		t.Errorf("lock held after secondary CPU finished")
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	sys := buildSMPWorkload(t)
+	m := sys.Machine
+	c2, err := m.AddCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Interleave([]*cpu.CPU{m.CPU, c2}, []int{1}, 1000); err == nil {
+		t.Error("mismatched quanta accepted")
+	}
+	if err := m.StartCall(c2, "nope"); err == nil {
+		t.Error("StartCall on unknown symbol succeeded")
+	}
+	if err := m.StartCall(c2, "worker", 1, 2, 3, 4, 5, 6, 7); err == nil {
+		t.Error("StartCall with 7 args succeeded")
+	}
+}
+
+func TestManyCPUs(t *testing.T) {
+	sys := buildSMPWorkload(t)
+	if err := sys.SetSwitch("config_smp", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Machine
+	cpus := []*cpu.CPU{m.CPU}
+	quanta := []int{3}
+	for i := 0; i < 3; i++ {
+		c, err := m.AddCPU()
+		if err != nil {
+			t.Fatalf("AddCPU %d: %v", i, err)
+		}
+		cpus = append(cpus, c)
+		quanta = append(quanta, 2+i)
+	}
+	const n = 100
+	for i, c := range cpus {
+		if err := m.StartCall(c, "worker", n); err != nil {
+			t.Fatalf("cpu %d: %v", i, err)
+		}
+	}
+	if _, err := m.Interleave(cpus, quanta, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadGlobal("shared_counter", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(v) != int64(len(cpus))*n {
+		t.Errorf("counter = %d, want %d", v, len(cpus)*n)
+	}
+}

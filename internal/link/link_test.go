@@ -1,0 +1,317 @@
+package link
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// buildCaller returns an object whose main calls the external symbol
+// "callee" and returns its result plus the 32-bit global "g" defined
+// here.
+func buildCaller() *obj.Object {
+	o := obj.New("caller.c")
+	var a isa.Asm
+	// main:
+	callAt := a.Len()
+	a.Call(0) // -> callee (reloc)
+	moviAt := a.Len()
+	a.Movi(1, 0) // r1 = &g (reloc)
+	a.Ld(1, 1, 4, 0)
+	a.Alu(isa.ADD, 0, 1)
+	a.Ret()
+	text := o.Section(obj.SecText)
+	text.Data = a.Bytes()
+
+	data := o.Section(obj.SecData)
+	data.Data = binary.LittleEndian.AppendUint32(nil, 100)
+
+	o.AddSymbol(obj.Symbol{Name: "main", Section: obj.SecText, Offset: 0, Size: uint64(a.Len()), Global: true})
+	o.AddSymbol(obj.Symbol{Name: "g", Section: obj.SecData, Offset: 0, Size: 4, Global: true})
+	o.AddReloc(obj.Reloc{Section: obj.SecText, Offset: uint64(callAt) + 1, Type: obj.RelocRel32, Symbol: "callee"})
+	o.AddReloc(obj.Reloc{Section: obj.SecText, Offset: uint64(moviAt) + 2, Type: obj.RelocAbs64, Symbol: "g"})
+	return o
+}
+
+// buildCallee returns an object defining callee() { return 7; } and a
+// 32-byte contribution to the multiverse.variables section whose first
+// field is &g (an Abs64 reloc into another unit's data).
+func buildCallee() *obj.Object {
+	o := obj.New("callee.c")
+	var a isa.Asm
+	a.Movi(0, 7)
+	a.Ret()
+	o.Section(obj.SecText).Data = a.Bytes()
+	o.AddSymbol(obj.Symbol{Name: "callee", Section: obj.SecText, Offset: 0, Size: uint64(a.Len()), Global: true})
+
+	vars := o.Section(obj.SecMVVars)
+	vars.Data = make([]byte, 32)
+	o.AddReloc(obj.Reloc{Section: obj.SecMVVars, Offset: 0, Type: obj.RelocAbs64, Symbol: "g"})
+	return o
+}
+
+func TestLinkAndRelocate(t *testing.T) {
+	img, err := Link(buildCaller(), buildCallee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry == 0 {
+		t.Fatal("no entry point")
+	}
+	if img.Entry != img.Symbols["main"].Addr {
+		t.Error("entry != main")
+	}
+	if img.HaltAddr != TextBase {
+		t.Errorf("halt stub at %#x, want %#x", img.HaltAddr, TextBase)
+	}
+	// main must come after the halt stub.
+	if img.Symbols["main"].Addr != TextBase+HaltStubLen {
+		t.Errorf("main at %#x, want %#x", img.Symbols["main"].Addr, TextBase+HaltStubLen)
+	}
+
+	// The rel32 in main must point at callee.
+	text := img.Segments[0]
+	mainOff := img.Symbols["main"].Addr - text.Addr
+	rel := int32(binary.LittleEndian.Uint32(text.Data[mainOff+1:]))
+	target := img.Symbols["main"].Addr + isa.CallSiteLen + uint64(rel)
+	if target != img.Symbols["callee"].Addr {
+		t.Errorf("call target = %#x, want callee %#x", target, img.Symbols["callee"].Addr)
+	}
+
+	// The descriptor's Abs64 must hold &g.
+	mvRange, ok := img.Sections[obj.SecMVVars]
+	if !ok {
+		t.Fatal("multiverse.variables section missing from image")
+	}
+	var roSeg *Segment
+	for i := range img.Segments {
+		s := &img.Segments[i]
+		if mvRange.Addr >= s.Addr && mvRange.Addr < s.Addr+uint64(len(s.Data)) {
+			roSeg = s
+		}
+	}
+	if roSeg == nil {
+		t.Fatal("descriptor section not inside any segment")
+	}
+	got := binary.LittleEndian.Uint64(roSeg.Data[mvRange.Addr-roSeg.Addr:])
+	if got != img.Symbols["g"].Addr {
+		t.Errorf("descriptor field = %#x, want &g = %#x", got, img.Symbols["g"].Addr)
+	}
+}
+
+func TestSectionConcatenationAcrossUnits(t *testing.T) {
+	mk := func(name string, fill byte) *obj.Object {
+		o := obj.New(name)
+		s := o.Section(obj.SecMVVars)
+		s.Data = bytes.Repeat([]byte{fill}, 32)
+		// Objects need at least one placed symbol-free text to exist;
+		// an empty text section is fine.
+		o.Section(obj.SecText)
+		return o
+	}
+	img, err := Link(mk("a.c", 0xAA), mk("b.c", 0xBB), mk("c.c", 0xCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := img.Sections[obj.SecMVVars]
+	if r.Size != 96 {
+		t.Fatalf("concatenated size = %d, want 96", r.Size)
+	}
+	var seg *Segment
+	for i := range img.Segments {
+		s := &img.Segments[i]
+		if r.Addr >= s.Addr && r.Addr < s.Addr+uint64(len(s.Data)) {
+			seg = s
+		}
+	}
+	data := seg.Data[r.Addr-seg.Addr : r.Addr-seg.Addr+r.Size]
+	for i, want := range []byte{0xAA, 0xBB, 0xCC} {
+		for j := 0; j < 32; j++ {
+			if data[i*32+j] != want {
+				t.Fatalf("unit %d byte %d = %#x, want %#x (input order not preserved)", i, j, data[i*32+j], want)
+			}
+		}
+	}
+}
+
+func TestBSSAllocatedAndZeroed(t *testing.T) {
+	o := obj.New("bss.c")
+	o.Section(obj.SecText)
+	b := o.Section(obj.SecBSS)
+	b.Size = 4096
+	o.AddSymbol(obj.Symbol{Name: "buf", Section: obj.SecBSS, Offset: 0, Size: 4096, Global: true})
+	img, err := Link(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := img.Symbols["buf"]
+	if sym.Addr == 0 {
+		t.Fatal("buf not placed")
+	}
+	r := img.Sections[obj.SecBSS]
+	if r.Size != 4096 {
+		t.Errorf("bss size = %d", r.Size)
+	}
+}
+
+func TestUndefinedSymbolFails(t *testing.T) {
+	o := obj.New("u.c")
+	var a isa.Asm
+	a.Call(0)
+	o.Section(obj.SecText).Data = a.Bytes()
+	o.AddReloc(obj.Reloc{Section: obj.SecText, Offset: 1, Type: obj.RelocRel32, Symbol: "missing"})
+	if _, err := Link(o); err == nil {
+		t.Error("undefined symbol linked")
+	}
+}
+
+func TestDuplicateGlobalFails(t *testing.T) {
+	mk := func(name string) *obj.Object {
+		o := obj.New(name)
+		var a isa.Asm
+		a.Ret()
+		o.Section(obj.SecText).Data = a.Bytes()
+		o.AddSymbol(obj.Symbol{Name: "f", Section: obj.SecText, Offset: 0, Global: true})
+		return o
+	}
+	if _, err := Link(mk("a.c"), mk("b.c")); err == nil {
+		t.Error("duplicate global linked")
+	}
+}
+
+func TestLocalSymbolsDoNotCollide(t *testing.T) {
+	mk := func(name string, val int64) *obj.Object {
+		o := obj.New(name)
+		var a isa.Asm
+		a.Movi(0, val)
+		a.Ret()
+		o.Section(obj.SecText).Data = a.Bytes()
+		o.AddSymbol(obj.Symbol{Name: "local_helper", Section: obj.SecText, Offset: 0, Global: false})
+		return o
+	}
+	if _, err := Link(mk("a.c", 1), mk("b.c", 2)); err != nil {
+		t.Errorf("local symbols collided: %v", err)
+	}
+}
+
+func TestLocalResolutionPrefersOwnUnit(t *testing.T) {
+	// Unit A has a local "h" and calls it; unit B exports a global "h".
+	// A's call must bind to its own local.
+	a := obj.New("a.c")
+	var asmA isa.Asm
+	callAt := asmA.Len()
+	asmA.Call(0)
+	asmA.Ret()
+	hA := asmA.Len()
+	asmA.Movi(0, 111)
+	asmA.Ret()
+	a.Section(obj.SecText).Data = asmA.Bytes()
+	a.AddSymbol(obj.Symbol{Name: "entry", Section: obj.SecText, Offset: 0, Global: true})
+	a.AddSymbol(obj.Symbol{Name: "h", Section: obj.SecText, Offset: uint64(hA), Global: false})
+	a.AddReloc(obj.Reloc{Section: obj.SecText, Offset: uint64(callAt) + 1, Type: obj.RelocRel32, Symbol: "h"})
+
+	b := obj.New("b.c")
+	var asmB isa.Asm
+	asmB.Movi(0, 222)
+	asmB.Ret()
+	b.Section(obj.SecText).Data = asmB.Bytes()
+	b.AddSymbol(obj.Symbol{Name: "h", Section: obj.SecText, Offset: 0, Global: true})
+
+	img, err := Link(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := img.Segments[0]
+	entry := img.Symbols["entry"].Addr
+	rel := int32(binary.LittleEndian.Uint32(text.Data[entry-text.Addr+uint64(callAt)+1:]))
+	target := entry + uint64(callAt) + isa.CallSiteLen + uint64(rel)
+	wantLocal := entry + uint64(hA)
+	if target != wantLocal {
+		t.Errorf("call bound to %#x, want local h at %#x (global h at %#x)",
+			target, wantLocal, img.Symbols["h"].Addr)
+	}
+}
+
+func TestSegmentProtections(t *testing.T) {
+	img, err := Link(buildCaller(), buildCallee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Segments) < 3 {
+		t.Fatalf("segments = %d, want >= 3", len(img.Segments))
+	}
+	if img.Segments[0].Prot.String() != "r-x" {
+		t.Errorf("text prot = %v", img.Segments[0].Prot)
+	}
+	// Segments must not overlap and must be ordered.
+	for i := 1; i < len(img.Segments); i++ {
+		prev, cur := img.Segments[i-1], img.Segments[i]
+		if prev.Addr+uint64(len(prev.Data)) > cur.Addr {
+			t.Errorf("segments %d and %d overlap", i-1, i)
+		}
+	}
+}
+
+func TestNoInputs(t *testing.T) {
+	if _, err := Link(); err == nil {
+		t.Error("Link() with no objects succeeded")
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	img, err := Link(buildCaller(), buildCallee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != img.Entry || got.HaltAddr != img.HaltAddr {
+		t.Error("entry/halt differ")
+	}
+	if len(got.Segments) != len(img.Segments) {
+		t.Fatal("segment count differs")
+	}
+	for i := range img.Segments {
+		if got.Segments[i].Addr != img.Segments[i].Addr ||
+			got.Segments[i].Prot != img.Segments[i].Prot ||
+			!bytes.Equal(got.Segments[i].Data, img.Segments[i].Data) {
+			t.Errorf("segment %d differs", i)
+		}
+	}
+	if len(got.Symbols) != len(img.Symbols) || len(got.Sections) != len(img.Sections) {
+		t.Error("symbol/section tables differ")
+	}
+	if _, err := ReadImage(bytes.NewReader([]byte("garbage!"))); err == nil {
+		t.Error("bad image magic accepted")
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	img, err := Link(buildCaller(), buildCallee())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, ok := img.SymbolAt(img.Symbols["callee"].Addr + 2)
+	if !ok || name != "callee" {
+		t.Errorf("SymbolAt inside callee = %q, %v", name, ok)
+	}
+	if _, ok := img.SymbolAt(0xdead0000); ok {
+		t.Error("SymbolAt on garbage address succeeded")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Addr: 100, Size: 10}
+	if !r.Contains(100) || !r.Contains(109) || r.Contains(110) || r.Contains(99) {
+		t.Error("Range.Contains boundaries wrong")
+	}
+}

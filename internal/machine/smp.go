@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// AddCPU attaches another hardware thread to the machine. The new CPU
+// shares the memory (and therefore sees all binary patching) but has
+// its own registers, branch predictors and instruction cache, and its
+// own stack. Instruction-level interleaving of CPUs is up to the
+// caller (see Interleave); each instruction executes atomically, so
+// XCHG retains its locked semantics across CPUs.
+func (m *Machine) AddCPU() (*cpu.CPU, error) {
+	m.extraCPUs++
+	top := stackTop - uint64(m.extraCPUs)*(stackPages+4)*mem.PageSize
+	if err := m.Mem.Map(top-stackPages*mem.PageSize, stackPages*mem.PageSize, mem.RW); err != nil {
+		return nil, fmt.Errorf("machine: mapping stack for cpu %d: %w", m.extraCPUs, err)
+	}
+	c := cpu.New(m.Mem, m.CPU.Config())
+	c.SetReg(isa.SP, top)
+	c.OutB = m.CPU.OutB
+	return c, nil
+}
+
+// StartCall prepares a CPU to execute the named function with the
+// given arguments, without running it: the PC points at the function
+// and the return address is the halt stub. Drive it with Step or
+// Interleave.
+func (m *Machine) StartCall(c *cpu.CPU, name string, args ...uint64) error {
+	addr, err := m.Symbol(name)
+	if err != nil {
+		return err
+	}
+	if len(args) > 6 {
+		return fmt.Errorf("machine: at most 6 arguments, got %d", len(args))
+	}
+	for i, v := range args {
+		c.SetReg(isa.Reg(i), v)
+	}
+	sp := c.Reg(isa.SP) - 8
+	if err := m.Mem.WriteUint(sp, 8, m.Image.HaltAddr); err != nil {
+		return err
+	}
+	c.SetReg(isa.SP, sp)
+	c.SetPC(addr)
+	return nil
+}
+
+// Interleave steps the given CPUs according to quanta: CPU i executes
+// quanta[i] instructions per round, round-robin, until every CPU has
+// halted. It returns the total number of instructions executed.
+// Uneven quanta explore different interleavings deterministically.
+func (m *Machine) Interleave(cpus []*cpu.CPU, quanta []int, maxSteps uint64) (uint64, error) {
+	if len(cpus) != len(quanta) {
+		return 0, fmt.Errorf("machine: %d cpus but %d quanta", len(cpus), len(quanta))
+	}
+	var total uint64
+	for {
+		anyRunning := false
+		for i, c := range cpus {
+			if c.Halted() {
+				continue
+			}
+			anyRunning = true
+			for q := 0; q < quanta[i] && !c.Halted(); q++ {
+				if err := c.Step(); err != nil {
+					return total, fmt.Errorf("machine: cpu %d: %w", i, err)
+				}
+				total++
+				if total > maxSteps {
+					return total, fmt.Errorf("machine: interleave exceeded %d steps", maxSteps)
+				}
+			}
+		}
+		if !anyRunning {
+			return total, nil
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package mem implements the paged physical memory of the simulated
+// machine: 4 KiB pages with R/W/X permissions, an mprotect-style
+// protection interface, and an optional strict W^X policy.
+//
+// The multiverse runtime library depends on this layer behaving like a
+// real MMU: writing to a read-only text page faults, and under W^X a
+// page can never be writable and executable at the same time — exactly
+// the constraints §7.2 of the paper discusses.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of a page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Prot is a page-protection bit set.
+type Prot uint8
+
+// Protection bits.
+const (
+	Read  Prot = 1 << iota // page may be read by data accesses
+	Write                  // page may be written
+	Exec                   // page may be fetched from
+)
+
+// Common protection combinations.
+const (
+	RW  = Read | Write
+	RX  = Read | Exec
+	RWX = Read | Write | Exec
+)
+
+// String renders the protection like "rwx" / "r-x".
+func (p Prot) String() string {
+	b := []byte("---")
+	if p&Read != 0 {
+		b[0] = 'r'
+	}
+	if p&Write != 0 {
+		b[1] = 'w'
+	}
+	if p&Exec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// AccessKind classifies the access that caused a fault.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessExec
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return "unknown"
+}
+
+// Fault describes a memory access violation.
+type Fault struct {
+	Addr   uint64
+	Kind   AccessKind
+	Prot   Prot // protection of the faulting page; 0 if unmapped
+	Mapped bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if !f.Mapped {
+		return fmt.Sprintf("mem: %s fault at %#x: page not mapped", f.Kind, f.Addr)
+	}
+	return fmt.Sprintf("mem: %s fault at %#x: page protection %s", f.Kind, f.Addr, f.Prot)
+}
+
+type page struct {
+	data    []byte // always PageSize long
+	prot    Prot
+	version uint64 // incremented on every write; the icache keys on it
+}
+
+// Memory is a sparse paged address space.
+type Memory struct {
+	pages map[uint64]*page // keyed by page number (addr >> PageShift)
+
+	// WXExclusive enforces strict W^X: Map and Protect reject any
+	// protection with both Write and Exec set.
+	WXExclusive bool
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) checkWX(prot Prot) error {
+	if m.WXExclusive && prot&Write != 0 && prot&Exec != 0 {
+		return fmt.Errorf("mem: W^X policy forbids %s mapping", prot)
+	}
+	return nil
+}
+
+// Map creates pages covering [addr, addr+length) with the given
+// protection. addr and length must be page-aligned, and the range must
+// not overlap an existing mapping.
+func (m *Memory) Map(addr, length uint64, prot Prot) error {
+	if addr%PageSize != 0 || length%PageSize != 0 {
+		return fmt.Errorf("mem: Map(%#x, %#x) not page-aligned", addr, length)
+	}
+	if length == 0 {
+		return fmt.Errorf("mem: Map with zero length")
+	}
+	if err := m.checkWX(prot); err != nil {
+		return err
+	}
+	first := addr >> PageShift
+	n := length >> PageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := m.pages[first+i]; ok {
+			return fmt.Errorf("mem: Map(%#x, %#x) overlaps existing mapping at %#x", addr, length, (first+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		m.pages[first+i] = &page{data: make([]byte, PageSize), prot: prot}
+	}
+	return nil
+}
+
+// Unmap removes the pages covering [addr, addr+length).
+func (m *Memory) Unmap(addr, length uint64) error {
+	if addr%PageSize != 0 || length%PageSize != 0 {
+		return fmt.Errorf("mem: Unmap(%#x, %#x) not page-aligned", addr, length)
+	}
+	first := addr >> PageShift
+	n := length >> PageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := m.pages[first+i]; !ok {
+			return fmt.Errorf("mem: Unmap(%#x, %#x): page %#x not mapped", addr, length, (first+i)<<PageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		delete(m.pages, first+i)
+	}
+	return nil
+}
+
+// Protect changes the protection of all pages overlapping
+// [addr, addr+length), like mprotect(2). addr need not be aligned; the
+// range is widened to page boundaries.
+func (m *Memory) Protect(addr, length uint64, prot Prot) error {
+	if length == 0 {
+		return fmt.Errorf("mem: Protect with zero length")
+	}
+	if err := m.checkWX(prot); err != nil {
+		return err
+	}
+	first := addr >> PageShift
+	last := (addr + length - 1) >> PageShift
+	for pn := first; pn <= last; pn++ {
+		if _, ok := m.pages[pn]; !ok {
+			return fmt.Errorf("mem: Protect(%#x, %#x): page %#x not mapped", addr, length, pn<<PageShift)
+		}
+	}
+	for pn := first; pn <= last; pn++ {
+		m.pages[pn].prot = prot
+	}
+	return nil
+}
+
+// ProtOf returns the protection of the page containing addr.
+func (m *Memory) ProtOf(addr uint64) (Prot, bool) {
+	p, ok := m.pages[addr>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return p.prot, true
+}
+
+// PageVersion returns the write-version counter of the page containing
+// addr. It is incremented on every store to the page; the CPU's
+// instruction cache uses it to detect (un)flushed code modification.
+func (m *Memory) PageVersion(addr uint64) (uint64, bool) {
+	p, ok := m.pages[addr>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return p.version, true
+}
+
+func (m *Memory) fault(addr uint64, kind AccessKind) error {
+	p, ok := m.pages[addr>>PageShift]
+	f := &Fault{Addr: addr, Kind: kind, Mapped: ok}
+	if ok {
+		f.Prot = p.prot
+	}
+	return f
+}
+
+// access walks the pages covering [addr, addr+len(buf)) and calls f
+// once per page with the in-page slice.
+func (m *Memory) access(addr uint64, n int, kind AccessKind, need Prot, f func(pg *page, off int, slice []byte)) error {
+	if n == 0 {
+		return nil
+	}
+	for n > 0 {
+		pg, ok := m.pages[addr>>PageShift]
+		if !ok || pg.prot&need != need {
+			return m.fault(addr, kind)
+		}
+		off := int(addr & (PageSize - 1))
+		chunk := PageSize - off
+		if chunk > n {
+			chunk = n
+		}
+		f(pg, off, pg.data[off:off+chunk])
+		addr += uint64(chunk)
+		n -= chunk
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes starting at addr into buf, checking the
+// Read permission.
+func (m *Memory) Read(addr uint64, buf []byte) error {
+	pos := 0
+	return m.access(addr, len(buf), AccessRead, Read, func(pg *page, off int, slice []byte) {
+		copy(buf[pos:], slice)
+		pos += len(slice)
+	})
+}
+
+// Write copies buf to addr, checking the Write permission and bumping
+// the page version counters.
+func (m *Memory) Write(addr uint64, buf []byte) error {
+	pos := 0
+	return m.access(addr, len(buf), AccessWrite, Write, func(pg *page, off int, slice []byte) {
+		copy(slice, buf[pos:])
+		pos += len(slice)
+		pg.version++
+	})
+}
+
+// Fetch copies len(buf) instruction bytes starting at addr into buf,
+// checking the Exec permission.
+func (m *Memory) Fetch(addr uint64, buf []byte) error {
+	pos := 0
+	return m.access(addr, len(buf), AccessExec, Exec, func(pg *page, off int, slice []byte) {
+		copy(buf[pos:], slice)
+		pos += len(slice)
+	})
+}
+
+// WriteForce copies buf to addr ignoring page protection (but still
+// requiring the pages to be mapped). It models the kernel-mode port of
+// the runtime library, which patches text through the direct mapping
+// instead of calling mprotect. Page versions are bumped as usual.
+func (m *Memory) WriteForce(addr uint64, buf []byte) error {
+	pos := 0
+	return m.access(addr, len(buf), AccessWrite, 0, func(pg *page, off int, slice []byte) {
+		copy(slice, buf[pos:])
+		pos += len(slice)
+		pg.version++
+	})
+}
+
+func le(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// ReadUint reads a little-endian unsigned integer of the given size
+// (1, 2, 4 or 8 bytes) at addr.
+func (m *Memory) ReadUint(addr uint64, size int) (uint64, error) {
+	var buf [8]byte
+	if err := m.Read(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	return le(buf[:size]), nil
+}
+
+// WriteUint writes a little-endian unsigned integer of the given size
+// (1, 2, 4 or 8 bytes) at addr.
+func (m *Memory) WriteUint(addr uint64, size int, v uint64) error {
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return m.Write(addr, buf[:size])
+}
+
+// Region describes one mapped protection-homogeneous address range.
+type Region struct {
+	Addr uint64
+	Len  uint64
+	Prot Prot
+}
+
+// Regions returns the mapped regions in address order, coalescing
+// adjacent pages with equal protection.
+func (m *Memory) Regions() []Region {
+	if len(m.pages) == 0 {
+		return nil
+	}
+	nums := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		nums = append(nums, pn)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	var out []Region
+	for _, pn := range nums {
+		p := m.pages[pn]
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.Addr+prev.Len == pn<<PageShift && prev.Prot == p.prot {
+				prev.Len += PageSize
+				continue
+			}
+		}
+		out = append(out, Region{Addr: pn << PageShift, Len: PageSize, Prot: p.prot})
+	}
+	return out
+}
+
+// PageAlignDown rounds addr down to a page boundary.
+func PageAlignDown(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// PageAlignUp rounds n up to a multiple of the page size.
+func PageAlignUp(n uint64) uint64 { return (n + PageSize - 1) &^ (PageSize - 1) }

@@ -1,0 +1,374 @@
+package muslsim
+
+import (
+	"testing"
+)
+
+func build(t *testing.T, b Build, multi bool) *Musl {
+	t.Helper()
+	m, err := BuildMusl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetThreads(multi); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func measure(t *testing.T, m *Musl, f Func) float64 {
+	t.Helper()
+	res, err := m.Measure(f, 10, 50)
+	if err != nil {
+		t.Fatalf("%v: %v", f, err)
+	}
+	if res.Mean <= 0 {
+		t.Fatalf("%v: mean %v", f, res)
+	}
+	return res.Mean
+}
+
+func TestRandomIsDeterministicLCG(t *testing.T) {
+	m := build(t, Plain, false)
+	if _, err := m.System().Machine.CallNamed("srandom_", 42); err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.System().Machine.CallNamed("random_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.System().Machine.CallNamed("random_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("random() repeated a value immediately")
+	}
+	// Same seed must reproduce the sequence.
+	if _, err := m.System().Machine.CallNamed("srandom_", 42); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.System().Machine.CallNamed("random_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Errorf("seeded sequence differs: %d vs %d", a, a2)
+	}
+	// Reference check of the LCG step (wrapping multiply).
+	var state uint64 = 42
+	state = state*6364136223846793005 + 1442695040888963407
+	if a != state>>33 {
+		t.Errorf("random(42) = %d, want %d", a, state>>33)
+	}
+}
+
+func TestMallocFreeReuse(t *testing.T) {
+	m := build(t, Plain, false)
+	mach := m.System().Machine
+	p1, err := mach.CallNamed("malloc_", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == 0 {
+		t.Fatal("malloc(1) returned NULL")
+	}
+	if _, err := mach.CallNamed("free_", p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := mach.CallNamed("malloc_", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Errorf("free list not reused: %#x then %#x", p1, p2)
+	}
+	// Different size classes get different chunks.
+	p3, err := mach.CallNamed("malloc_", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p2 {
+		t.Error("distinct live allocations alias")
+	}
+	// Writes to one allocation must not clobber another.
+	if err := mach.Mem.WriteUint(p2, 8, 0xAAAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Mem.WriteUint(p3, 8, 0xBBBB); err != nil {
+		t.Fatal(err)
+	}
+	v, err := mach.Mem.ReadUint(p2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xAAAA {
+		t.Error("allocation overlap")
+	}
+	if _, err := mach.CallNamed("free_", 0); err != nil {
+		t.Errorf("free(NULL): %v", err)
+	}
+}
+
+func TestFputcBuffersAndFlushes(t *testing.T) {
+	m := build(t, Plain, false)
+	mach := m.System().Machine
+	for i := 0; i < 4096; i++ {
+		if _, err := mach.CallNamed("fputc_", 'x'); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushed, err := mach.ReadGlobal("flushed_bytes", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed != 4096 {
+		t.Errorf("flushed = %d, want 4096", flushed)
+	}
+	pos, err := mach.ReadGlobal("fpos", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 0 {
+		t.Errorf("fpos = %d after flush", pos)
+	}
+}
+
+func TestFigure5SingleThreadedShape(t *testing.T) {
+	plain := build(t, Plain, false)
+	mv := build(t, Multiverse, false)
+	for _, f := range Funcs() {
+		p := measure(t, plain, f)
+		v := measure(t, mv, f)
+		reduction := (p - v) / p * 100
+		// Paper: −43 % (random) … −54 % (malloc(1)). The shape to hold:
+		// a substantial double-digit reduction for every function.
+		if reduction < 20 {
+			t.Errorf("%v: single-threaded reduction only %.1f%% (plain %.1f, mv %.1f)",
+				f, reduction, p, v)
+		}
+		if reduction > 80 {
+			t.Errorf("%v: implausible reduction %.1f%%", f, reduction)
+		}
+	}
+}
+
+func TestFigure5MultiThreadedShape(t *testing.T) {
+	plain := build(t, Plain, true)
+	mv := build(t, Multiverse, true)
+	for _, f := range Funcs() {
+		p := measure(t, plain, f)
+		v := measure(t, mv, f)
+		diff := (p - v) / p * 100
+		// Paper: "only a minor impact on the multi-threaded scenario".
+		if diff > 15 || diff < -15 {
+			t.Errorf("%v: multi-threaded differs by %.1f%% (plain %.1f, mv %.1f)",
+				f, diff, p, v)
+		}
+	}
+}
+
+func TestCommitFollowsThreadCount(t *testing.T) {
+	// The paper's protocol: commit before/after the second thread is
+	// spawned/has exited. Costs must track the transitions.
+	mv, err := BuildMusl(Multiverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.SetThreads(false); err != nil {
+		t.Fatal(err)
+	}
+	single := measure(t, mv, FnMalloc1)
+	if err := mv.SetThreads(true); err != nil {
+		t.Fatal(err)
+	}
+	multi := measure(t, mv, FnMalloc1)
+	if err := mv.SetThreads(false); err != nil {
+		t.Fatal(err)
+	}
+	single2 := measure(t, mv, FnMalloc1)
+	if multi <= single {
+		t.Errorf("multi-threaded (%.1f) should cost more than single (%.1f)", multi, single)
+	}
+	if d := single2 - single; d > 1 || d < -1 {
+		t.Errorf("thread-exit commit not reversible: %.1f vs %.1f", single, single2)
+	}
+}
+
+func TestMultiverseReducesBranches(t *testing.T) {
+	// "The impact of multiverse stems from call-site inlining and the
+	// thereby reduced number of branches (−40 % for malloc(1))."
+	count := func(b Build) uint64 {
+		m := build(t, b, false)
+		before := m.BranchStats()
+		if _, err := m.System().Machine.CallNamed("bench_malloc", 200, 1); err != nil {
+			t.Fatal(err)
+		}
+		return m.BranchStats() - before
+	}
+	plain := count(Plain)
+	mv := count(Multiverse)
+	if mv >= plain {
+		t.Errorf("branches: mv %d >= plain %d", mv, plain)
+	}
+	reduction := float64(plain-mv) / float64(plain) * 100
+	if reduction < 15 {
+		t.Errorf("branch reduction only %.1f%%", reduction)
+	}
+}
+
+func TestScalingHelpers(t *testing.T) {
+	ms := CyclesToMilliseconds(30)
+	if ms < 99 || ms > 101 { // 30 cycles * 1e7 / 3e9 * 1e3 = 100 ms
+		t.Errorf("CyclesToMilliseconds(30) = %f", ms)
+	}
+	bw := FputcBandwidthMiBs(12)
+	if bw < 230 || bw > 250 { // 3e9/12 bytes/s ≈ 238 MiB/s
+		t.Errorf("FputcBandwidthMiBs(12) = %f", bw)
+	}
+}
+
+func TestLocksActuallyLockInMultiThreadedMode(t *testing.T) {
+	for _, b := range []Build{Plain, Multiverse} {
+		m := build(t, b, true)
+		mach := m.System().Machine
+		if _, err := mach.CallNamed("random_"); err != nil {
+			t.Fatal(err)
+		}
+		// The lock word must cycle back to 0 (released).
+		lw, err := mach.ReadGlobal("rand_lock", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lw != 0 {
+			t.Errorf("%v: rand_lock = %d after release", b, lw)
+		}
+	}
+}
+
+func TestCallocZeroesRecycledMemory(t *testing.T) {
+	m := build(t, Plain, false)
+	mach := m.System().Machine
+	// Dirty a chunk, free it, calloc the same class: must read zero.
+	p, err := mach.CallNamed("malloc_", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Mem.WriteUint(p, 8, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.CallNamed("free_", p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := mach.CallNamed("calloc_", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatalf("calloc did not recycle the chunk (%#x vs %#x)", q, p)
+	}
+	v, err := mach.Mem.ReadUint(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("calloc memory = %#x, want 0", v)
+	}
+}
+
+func TestReallocGrowsAndPreserves(t *testing.T) {
+	m := build(t, Plain, false)
+	mach := m.System().Machine
+	p, err := mach.CallNamed("malloc_", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Mem.WriteUint(p, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	q, err := mach.CallNamed("realloc_", p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == p {
+		t.Error("growing realloc returned the same chunk")
+	}
+	v, err := mach.Mem.ReadUint(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x1122334455667788 {
+		t.Errorf("realloc lost data: %#x", v)
+	}
+	// Shrinking stays in place.
+	r, err := mach.CallNamed("realloc_", q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != q {
+		t.Error("shrinking realloc moved the chunk")
+	}
+	// realloc(NULL, n) behaves like malloc.
+	n, err := mach.CallNamed("realloc_", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("realloc(NULL) returned NULL")
+	}
+}
+
+func TestMemHelpers(t *testing.T) {
+	m := build(t, Plain, false)
+	mach := m.System().Machine
+	p, err := mach.CallNamed("malloc_", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.CallNamed("memset_", p, 0xAB, 32); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	if err := mach.Mem.Read(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0xAB {
+			t.Fatalf("byte %d = %#x", i, b)
+		}
+	}
+	q, err := mach.CallNamed("malloc_", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.CallNamed("memcpy_", q, p, 32); err != nil {
+		t.Fatal(err)
+	}
+	buf2 := make([]byte, 32)
+	if err := mach.Mem.Read(q, buf2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf2 {
+		if buf2[i] != buf[i] {
+			t.Fatalf("memcpy mismatch at %d", i)
+		}
+	}
+}
+
+func TestFuncLabels(t *testing.T) {
+	want := map[Func]string{
+		FnRandom: "random()", FnMalloc0: "malloc(0)",
+		FnMalloc1: "malloc(1)", FnFputc: "fputc('a')",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%v != %q", f, s)
+		}
+	}
+	if Func(99).String() != "?" {
+		t.Error("unknown func label")
+	}
+	if Plain.String() != "w/o Multiverse" || Multiverse.String() != "w/ Multiverse" {
+		t.Error("build labels")
+	}
+}

@@ -1,0 +1,205 @@
+// Package mvir implements the mid-level program transformations of the
+// multiverse compiler: function cloning, configuration-switch
+// substitution, and the optimization passes that specialize variants
+// (constant folding, branch pruning, local constant propagation,
+// unreachable-code and dead-store elimination).
+//
+// It mirrors the paper's §3 pipeline: variants are cloned from the
+// generic body, every read of a configuration switch is replaced by a
+// constant *before* optimization, and the optimizer then shrinks each
+// clone; bodies that become identical are merged by the variant
+// generator (package core) using a canonical fingerprint.
+package mvir
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+)
+
+// CloneFunc deep-copies a function definition. Local and parameter
+// symbols are re-created (so clones can be transformed independently);
+// global symbols stay shared with the original unit.
+func CloneFunc(f *cc.FuncDecl) *cc.FuncDecl {
+	c := &cloner{syms: make(map[*cc.VarSym]*cc.VarSym)}
+	out := &cc.FuncDecl{
+		P:          f.P,
+		Name:       f.Name,
+		Sym:        f.Sym,
+		Ret:        f.Ret,
+		Multiverse: f.Multiverse,
+		BindOnly:   append([]string(nil), f.BindOnly...),
+		NoScratch:  f.NoScratch,
+		Static:     f.Static,
+	}
+	for _, p := range f.Params {
+		out.Params = append(out.Params, c.sym(p))
+	}
+	if f.Body != nil {
+		out.Body = c.stmt(f.Body).(*cc.Block)
+	}
+	return out
+}
+
+type cloner struct {
+	syms map[*cc.VarSym]*cc.VarSym
+}
+
+func (c *cloner) sym(s *cc.VarSym) *cc.VarSym {
+	if s == nil {
+		return nil
+	}
+	if s.Storage != cc.StorageLocal && s.Storage != cc.StorageParam {
+		return s // globals, statics and functions are shared
+	}
+	if n, ok := c.syms[s]; ok {
+		return n
+	}
+	n := &cc.VarSym{}
+	*n = *s
+	c.syms[s] = n
+	return n
+}
+
+func (c *cloner) expr(e cc.Expr) cc.Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *cc.IntLit:
+		n := *e
+		return &n
+	case *cc.StrLit:
+		n := *e
+		return &n
+	case *cc.VarRef:
+		n := *e
+		n.Sym = c.sym(e.Sym)
+		return &n
+	case *cc.Unary:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *cc.Binary:
+		n := *e
+		n.X = c.expr(e.X)
+		n.Y = c.expr(e.Y)
+		return &n
+	case *cc.Assign:
+		n := *e
+		n.LHS = c.expr(e.LHS)
+		n.RHS = c.expr(e.RHS)
+		return &n
+	case *cc.IncDec:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *cc.Call:
+		n := *e
+		n.Fn = c.expr(e.Fn)
+		n.Args = c.exprs(e.Args)
+		return &n
+	case *cc.Index:
+		n := *e
+		n.Base = c.expr(e.Base)
+		n.Idx = c.expr(e.Idx)
+		return &n
+	case *cc.Cast:
+		n := *e
+		n.X = c.expr(e.X)
+		return &n
+	case *cc.Cond:
+		n := *e
+		n.C = c.expr(e.C)
+		n.T = c.expr(e.T)
+		n.F = c.expr(e.F)
+		return &n
+	case *cc.Builtin:
+		n := *e
+		n.Args = c.exprs(e.Args)
+		return &n
+	}
+	panic(fmt.Sprintf("mvir: clone of unknown expression %T", e))
+}
+
+func (c *cloner) exprs(es []cc.Expr) []cc.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]cc.Expr, len(es))
+	for i, e := range es {
+		out[i] = c.expr(e)
+	}
+	return out
+}
+
+func (c *cloner) stmt(s cc.Stmt) cc.Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *cc.Block:
+		n := &cc.Block{}
+		n.P = s.P
+		for _, st := range s.Stmts {
+			n.Stmts = append(n.Stmts, c.stmt(st))
+		}
+		return n
+	case *cc.DeclStmt:
+		n := *s
+		n.Sym = c.sym(s.Sym)
+		n.Init = c.expr(s.Init)
+		return &n
+	case *cc.ExprStmt:
+		n := *s
+		n.X = c.expr(s.X)
+		return &n
+	case *cc.If:
+		n := *s
+		n.Cond = c.expr(s.Cond)
+		n.Then = c.stmt(s.Then)
+		n.Else = c.stmt(s.Else)
+		return &n
+	case *cc.While:
+		n := *s
+		n.Cond = c.expr(s.Cond)
+		n.Body = c.stmt(s.Body)
+		return &n
+	case *cc.DoWhile:
+		n := *s
+		n.Body = c.stmt(s.Body)
+		n.Cond = c.expr(s.Cond)
+		return &n
+	case *cc.For:
+		n := *s
+		n.Init = c.stmt(s.Init)
+		n.Cond = c.expr(s.Cond)
+		n.Post = c.expr(s.Post)
+		n.Body = c.stmt(s.Body)
+		return &n
+	case *cc.Switch:
+		n := &cc.Switch{}
+		n.P = s.P
+		n.Cond = c.expr(s.Cond)
+		for _, cs := range s.Cases {
+			nc := &cc.SwitchCase{P: cs.P, IsDefault: cs.IsDefault, Val: cs.Val}
+			for _, st := range cs.Stmts {
+				nc.Stmts = append(nc.Stmts, c.stmt(st))
+			}
+			n.Cases = append(n.Cases, nc)
+		}
+		return n
+	case *cc.Return:
+		n := *s
+		n.X = c.expr(s.X)
+		return &n
+	case *cc.Break:
+		n := *s
+		return &n
+	case *cc.Continue:
+		n := *s
+		return &n
+	case *cc.Empty:
+		n := *s
+		return &n
+	}
+	panic(fmt.Sprintf("mvir: clone of unknown statement %T", s))
+}

@@ -1,0 +1,226 @@
+package mvir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/cc"
+)
+
+// Fingerprint returns a canonical textual form of f's body in which
+// local variables are numbered by first appearance. Two functions with
+// the same fingerprint compile to identical code, so the variant
+// generator merges variants whose optimized fingerprints coincide
+// (paper §3: "merge function bodies that become equal after
+// optimization").
+func Fingerprint(f *cc.FuncDecl) string {
+	p := &printer{locals: make(map[*cc.VarSym]int)}
+	for _, param := range f.Params {
+		p.localID(param)
+	}
+	fmt.Fprintf(&p.sb, "func(%d)%s{", len(f.Params), typeSig(f.Ret))
+	if f.Body != nil {
+		p.stmt(f.Body)
+	}
+	p.sb.WriteString("}")
+	return p.sb.String()
+}
+
+// FingerprintHash returns a short stable hash of the fingerprint,
+// usable as a map key or symbol suffix.
+func FingerprintHash(f *cc.FuncDecl) string {
+	sum := sha256.Sum256([]byte(Fingerprint(f)))
+	return hex.EncodeToString(sum[:8])
+}
+
+type printer struct {
+	sb     strings.Builder
+	locals map[*cc.VarSym]int
+}
+
+func (p *printer) localID(s *cc.VarSym) int {
+	if id, ok := p.locals[s]; ok {
+		return id
+	}
+	id := len(p.locals)
+	p.locals[s] = id
+	return id
+}
+
+func typeSig(t *cc.Type) string {
+	if t == nil {
+		return "?"
+	}
+	switch t.Kind {
+	case cc.KindVoid:
+		return "v"
+	case cc.KindBool:
+		return "b"
+	case cc.KindInt, cc.KindEnum:
+		sign := "u"
+		if t.IsSigned() {
+			sign = "i"
+		}
+		return fmt.Sprintf("%s%d", sign, t.ByteSize()*8)
+	case cc.KindPtr:
+		return "p" + typeSig(t.Elem)
+	case cc.KindArray:
+		return fmt.Sprintf("a%d%s", t.ArrayLen, typeSig(t.Elem))
+	case cc.KindFunc:
+		var ps []string
+		for _, q := range t.Params {
+			ps = append(ps, typeSig(q))
+		}
+		return fmt.Sprintf("f(%s)%s", strings.Join(ps, ","), typeSig(t.Ret))
+	}
+	return "?"
+}
+
+func (p *printer) expr(e cc.Expr) {
+	switch e := e.(type) {
+	case nil:
+		p.sb.WriteString("_")
+	case *cc.IntLit:
+		fmt.Fprintf(&p.sb, "#%d:%s", e.Value, typeSig(e.Type()))
+	case *cc.StrLit:
+		fmt.Fprintf(&p.sb, "%q", e.Value)
+	case *cc.VarRef:
+		if e.Sym != nil && (e.Sym.Storage == cc.StorageLocal || e.Sym.Storage == cc.StorageParam) {
+			fmt.Fprintf(&p.sb, "l%d", p.localID(e.Sym))
+		} else {
+			fmt.Fprintf(&p.sb, "g:%s", e.Name)
+		}
+	case *cc.Unary:
+		fmt.Fprintf(&p.sb, "(%s", e.Op)
+		p.expr(e.X)
+		p.sb.WriteString(")")
+	case *cc.Binary:
+		fmt.Fprintf(&p.sb, "(%s:%s ", e.Op, typeSig(e.Type()))
+		p.expr(e.X)
+		p.sb.WriteString(" ")
+		p.expr(e.Y)
+		p.sb.WriteString(")")
+	case *cc.Assign:
+		fmt.Fprintf(&p.sb, "(%s ", e.Op)
+		p.expr(e.LHS)
+		p.sb.WriteString(" ")
+		p.expr(e.RHS)
+		p.sb.WriteString(")")
+	case *cc.IncDec:
+		fmt.Fprintf(&p.sb, "(%s ", e.Op)
+		p.expr(e.X)
+		p.sb.WriteString(")")
+	case *cc.Call:
+		p.sb.WriteString("(call ")
+		p.expr(e.Fn)
+		for _, a := range e.Args {
+			p.sb.WriteString(" ")
+			p.expr(a)
+		}
+		p.sb.WriteString(")")
+	case *cc.Index:
+		p.sb.WriteString("(idx ")
+		p.expr(e.Base)
+		p.sb.WriteString(" ")
+		p.expr(e.Idx)
+		p.sb.WriteString(")")
+	case *cc.Cast:
+		fmt.Fprintf(&p.sb, "(cast:%s ", typeSig(e.To))
+		p.expr(e.X)
+		p.sb.WriteString(")")
+	case *cc.Cond:
+		p.sb.WriteString("(?: ")
+		p.expr(e.C)
+		p.sb.WriteString(" ")
+		p.expr(e.T)
+		p.sb.WriteString(" ")
+		p.expr(e.F)
+		p.sb.WriteString(")")
+	case *cc.Builtin:
+		fmt.Fprintf(&p.sb, "(%s", e.Name)
+		for _, a := range e.Args {
+			p.sb.WriteString(" ")
+			p.expr(a)
+		}
+		p.sb.WriteString(")")
+	default:
+		fmt.Fprintf(&p.sb, "?%T", e)
+	}
+}
+
+func (p *printer) stmt(s cc.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *cc.Block:
+		p.sb.WriteString("{")
+		for _, st := range s.Stmts {
+			p.stmt(st)
+		}
+		p.sb.WriteString("}")
+	case *cc.DeclStmt:
+		fmt.Fprintf(&p.sb, "decl l%d:%s", p.localID(s.Sym), typeSig(s.Sym.Type))
+		if s.Init != nil {
+			p.sb.WriteString("=")
+			p.expr(s.Init)
+		}
+		p.sb.WriteString(";")
+	case *cc.ExprStmt:
+		p.expr(s.X)
+		p.sb.WriteString(";")
+	case *cc.If:
+		p.sb.WriteString("if ")
+		p.expr(s.Cond)
+		p.stmt(s.Then)
+		if s.Else != nil {
+			p.sb.WriteString("else")
+			p.stmt(s.Else)
+		}
+	case *cc.While:
+		p.sb.WriteString("while ")
+		p.expr(s.Cond)
+		p.stmt(s.Body)
+	case *cc.DoWhile:
+		p.sb.WriteString("do")
+		p.stmt(s.Body)
+		p.sb.WriteString("while ")
+		p.expr(s.Cond)
+		p.sb.WriteString(";")
+	case *cc.For:
+		p.sb.WriteString("for(")
+		p.stmt(s.Init)
+		p.sb.WriteString(";")
+		p.expr(s.Cond)
+		p.sb.WriteString(";")
+		p.expr(s.Post)
+		p.sb.WriteString(")")
+		p.stmt(s.Body)
+	case *cc.Switch:
+		p.sb.WriteString("switch ")
+		p.expr(s.Cond)
+		p.sb.WriteString("{")
+		for _, cs := range s.Cases {
+			if cs.IsDefault {
+				p.sb.WriteString("default:")
+			} else {
+				fmt.Fprintf(&p.sb, "case %d:", cs.Val)
+			}
+			for _, st := range cs.Stmts {
+				p.stmt(st)
+			}
+		}
+		p.sb.WriteString("}")
+	case *cc.Return:
+		p.sb.WriteString("return ")
+		p.expr(s.X)
+		p.sb.WriteString(";")
+	case *cc.Break:
+		p.sb.WriteString("break;")
+	case *cc.Continue:
+		p.sb.WriteString("continue;")
+	case *cc.Empty:
+	default:
+		fmt.Fprintf(&p.sb, "?%T", s)
+	}
+}

@@ -1,0 +1,158 @@
+package mvir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+)
+
+// roundTrip prints the named function, splices it back into the
+// declaration preamble, re-parses, and compares fingerprints.
+func roundTrip(t *testing.T, preamble, fnSrc, fnName string) {
+	t.Helper()
+	u1 := parse(t, preamble+fnSrc)
+	f1 := fn(t, u1, fnName)
+	printed := cc.FormatFunc(f1)
+	u2, err := cc.Parse("roundtrip.mvc", preamble+printed)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nprinted:\n%s", err, printed)
+	}
+	if err := cc.Check(u2); err != nil {
+		t.Fatalf("re-check failed: %v\nprinted:\n%s", err, printed)
+	}
+	f2 := fn(t, u2, fnName)
+	if Fingerprint(f1) != Fingerprint(f2) {
+		t.Fatalf("round trip changed semantics:\noriginal: %s\nreparsed: %s\nprinted:\n%s",
+			Fingerprint(f1), Fingerprint(f2), printed)
+	}
+}
+
+func TestPrintRoundTripKitchenSink(t *testing.T) {
+	// Reuse the all-constructs program from the clone tests.
+	idx := strings.Index(kitchenSink, "long everything")
+	preamble := kitchenSink[:idx]
+	fnSrc := kitchenSink[idx:]
+	roundTrip(t, preamble, fnSrc, "everything")
+}
+
+func TestPrintRoundTripControlFlow(t *testing.T) {
+	roundTrip(t, "long g;\n", `
+		long f(long n) {
+			long acc = 0;
+			for (long i = 0; i < n; i++) {
+				switch (i % 4) {
+				case 0:
+					acc += 1;
+					break;
+				case 1:
+				case 2:
+					acc -= 1;
+					break;
+				default:
+					continue;
+				}
+				if (acc > 100) { break; }
+			}
+			do { acc--; } while (acc > 50);
+			while (acc < 0) { acc += 3; }
+			return acc;
+		}
+	`, "f")
+}
+
+func TestPrintRoundTripPrecedence(t *testing.T) {
+	roundTrip(t, "", `
+		long f(long a, long b, long c) {
+			long r = a + b * c - (a + b) * c;
+			r += a << 2 | b & c ^ (a | b);
+			r -= a < b == (c > a);
+			r *= -(-a) + ~(b - 1);
+			r = a ? b : c ? a : b;
+			r = (a ? b : c) + 1;
+			r = !(a && b) || c;
+			return r - -1;
+		}
+	`, "f")
+}
+
+func TestPrintRoundTripShadowing(t *testing.T) {
+	roundTrip(t, "", `
+		long f(long x) {
+			long y = x;
+			{
+				long x = 2;
+				y += x;
+				{
+					long x = 3;
+					y += x;
+				}
+			}
+			return y + x;
+		}
+	`, "f")
+}
+
+func TestPrintSpecializedVariant(t *testing.T) {
+	// The mvcc -dump-variants use case: print a clone after
+	// substitution + optimization, re-parse, same semantics.
+	preamble := `
+		multiverse int A;
+		void work(void);
+	`
+	u := parse(t, preamble+`
+		multiverse void f(long n) {
+			for (long i = 0; i < n; i++) {
+				if (A) { work(); }
+			}
+		}
+	`)
+	clone := CloneFunc(fn(t, u, "f"))
+	Substitute(clone, map[*cc.VarSym]int64{u.Globals["A"]: 0})
+	Optimize(clone)
+	printed := cc.FormatFunc(clone)
+	if strings.Contains(printed, "work") {
+		t.Errorf("A=0 variant still mentions work():\n%s", printed)
+	}
+	u2, err := cc.Parse("v.mvc", preamble+printed)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, printed)
+	}
+	if err := cc.Check(u2); err != nil {
+		t.Fatalf("%v\n%s", err, printed)
+	}
+	if Fingerprint(clone) != Fingerprint(fn(t, u2, "f")) {
+		t.Errorf("variant round trip diverged:\n%s", printed)
+	}
+}
+
+func TestPrintNegativeLiteralsSafely(t *testing.T) {
+	roundTrip(t, "", `
+		long f(long a) {
+			switch (a) {
+			case 0:
+				return a - -3;
+			}
+			return -(-a);
+		}
+	`, "f")
+	// The optimizer can synthesize negative literals in case labels'
+	// position via folding; printing must keep them parseable.
+	s := cc.FormatExpr(mustExpr(t, "1 - 2"))
+	if s == "" {
+		t.Fatal("empty expression print")
+	}
+}
+
+func mustExpr(t *testing.T, src string) cc.Expr {
+	t.Helper()
+	u, err := cc.Parse("e.mvc", "long f(void) { return "+src+"; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Check(u); err != nil {
+		t.Fatal(err)
+	}
+	ret := u.Globals["f"].Func.Body.Stmts[0].(*cc.Return)
+	return ret.X
+}

@@ -1,0 +1,200 @@
+// Package obj defines the relocatable object format produced by the
+// MVC compiler and consumed by the linker.
+//
+// The format mirrors the properties of ELF that the multiverse design
+// (paper §5) depends on: named sections that the linker concatenates
+// across translation units, so that per-unit descriptor records form
+// one contiguous array in the final image; and relocations on the
+// address fields inside descriptors, so that position-independent
+// layout comes for free.
+package obj
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multiverse descriptor section names (paper Figure 2).
+const (
+	SecText        = ".text"
+	SecROData      = ".rodata"
+	SecData        = ".data"
+	SecBSS         = ".bss"
+	SecMVVars      = "multiverse.variables"
+	SecMVFuncs     = "multiverse.functions"
+	SecMVCallSites = "multiverse.callsites"
+	SecMVStrings   = "multiverse.strings"
+)
+
+// SectionFlags describe how a section is mapped at run time.
+type SectionFlags uint8
+
+// Section flags.
+const (
+	SecFlagWrite  SectionFlags = 1 << iota // mapped writable
+	SecFlagExec                            // mapped executable
+	SecFlagNoBits                          // occupies no file space (.bss)
+)
+
+// Section is a named chunk of bytes (or reserved zero space).
+type Section struct {
+	Name  string
+	Data  []byte
+	Size  uint64 // for NoBits sections; otherwise len(Data)
+	Align uint64 // power of two; 0 means 1
+	Flags SectionFlags
+}
+
+// ByteSize returns the run-time size of the section.
+func (s *Section) ByteSize() uint64 {
+	if s.Flags&SecFlagNoBits != 0 {
+		return s.Size
+	}
+	return uint64(len(s.Data))
+}
+
+// Symbol names a location within a section.
+type Symbol struct {
+	Name    string
+	Section string // defining section; "" for undefined symbols
+	Offset  uint64 // offset within the section
+	Size    uint64
+	Global  bool
+}
+
+// RelocType selects the relocation computation.
+type RelocType uint8
+
+// Relocation types.
+const (
+	// RelocRel32 patches a 4-byte field at Offset with
+	// S + Addend - (P + 4), where P is the address of the field.
+	// Because m64 branch displacements are relative to the end of the
+	// instruction and the displacement field is the final 4 bytes,
+	// this is exactly the branch-target relocation.
+	RelocRel32 RelocType = iota
+	// RelocAbs64 patches an 8-byte field with S + Addend.
+	RelocAbs64
+)
+
+func (t RelocType) String() string {
+	switch t {
+	case RelocRel32:
+		return "rel32"
+	case RelocAbs64:
+		return "abs64"
+	}
+	return fmt.Sprintf("reloc%d", uint8(t))
+}
+
+// Reloc is a relocation record.
+type Reloc struct {
+	Section string // section whose bytes are patched
+	Offset  uint64 // offset of the field within the section
+	Type    RelocType
+	Symbol  string
+	Addend  int64
+}
+
+// Object is one translation unit's compilation result.
+type Object struct {
+	Name     string // source name, for diagnostics
+	Sections []*Section
+	Symbols  []Symbol
+	Relocs   []Reloc
+}
+
+// New returns an empty object with the given diagnostic name.
+func New(name string) *Object {
+	return &Object{Name: name}
+}
+
+// Section returns the section with the given name, creating it (with
+// the conventional flags for well-known names) on first use.
+func (o *Object) Section(name string) *Section {
+	for _, s := range o.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Section{Name: name, Align: 16}
+	switch name {
+	case SecText:
+		s.Flags = SecFlagExec
+	case SecData:
+		s.Flags = SecFlagWrite
+	case SecBSS:
+		s.Flags = SecFlagWrite | SecFlagNoBits
+	}
+	o.Sections = append(o.Sections, s)
+	return s
+}
+
+// AddSymbol records a symbol definition or reference.
+func (o *Object) AddSymbol(sym Symbol) {
+	o.Symbols = append(o.Symbols, sym)
+}
+
+// AddReloc records a relocation.
+func (o *Object) AddReloc(r Reloc) {
+	o.Relocs = append(o.Relocs, r)
+}
+
+// DefinedSymbols returns the symbols defined by this object, sorted by
+// name.
+func (o *Object) DefinedSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range o.Symbols {
+		if s.Section != "" {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Validate performs structural checks: every relocation must refer to
+// an existing section and lie within its bounds, and symbols must lie
+// within their sections.
+func (o *Object) Validate() error {
+	secs := make(map[string]*Section, len(o.Sections))
+	for _, s := range o.Sections {
+		if _, dup := secs[s.Name]; dup {
+			return fmt.Errorf("obj %s: duplicate section %q", o.Name, s.Name)
+		}
+		if s.Flags&SecFlagNoBits != 0 && len(s.Data) > 0 {
+			return fmt.Errorf("obj %s: NoBits section %q has data", o.Name, s.Name)
+		}
+		secs[s.Name] = s
+	}
+	for _, sym := range o.Symbols {
+		if sym.Section == "" {
+			continue
+		}
+		s, ok := secs[sym.Section]
+		if !ok {
+			return fmt.Errorf("obj %s: symbol %q in unknown section %q", o.Name, sym.Name, sym.Section)
+		}
+		if sym.Offset > s.ByteSize() {
+			return fmt.Errorf("obj %s: symbol %q offset %#x beyond section %q size %#x",
+				o.Name, sym.Name, sym.Offset, sym.Section, s.ByteSize())
+		}
+	}
+	for _, r := range o.Relocs {
+		s, ok := secs[r.Section]
+		if !ok {
+			return fmt.Errorf("obj %s: relocation in unknown section %q", o.Name, r.Section)
+		}
+		width := uint64(4)
+		if r.Type == RelocAbs64 {
+			width = 8
+		}
+		if s.Flags&SecFlagNoBits != 0 {
+			return fmt.Errorf("obj %s: relocation in NoBits section %q", o.Name, r.Section)
+		}
+		if r.Offset+width > uint64(len(s.Data)) {
+			return fmt.Errorf("obj %s: relocation at %q+%#x overruns section", o.Name, r.Section, r.Offset)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package pysim
+
+import (
+	"testing"
+)
+
+func build(t *testing.T, b Build, gc bool) *Python {
+	t.Helper()
+	p, err := BuildPython(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetGCEnabled(gc); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllocatorReturnsDistinctAlignedObjects(t *testing.T) {
+	p := build(t, Plain, false)
+	mach := p.System().Machine
+	a, err := mach.CallNamed("py_gc_alloc", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mach.CallNamed("py_gc_alloc", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("allocations alias")
+	}
+	if a%32 != 0 || b%32 != 0 {
+		t.Errorf("objects not 32-byte aligned: %#x %#x", a, b)
+	}
+}
+
+func TestGCRunsWhenEnabled(t *testing.T) {
+	p := build(t, Plain, true)
+	if _, err := p.System().Machine.CallNamed("bench_alloc", 1500); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Collections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("gc enabled but no collections ran")
+	}
+
+	off := build(t, Plain, false)
+	if _, err := off.System().Machine.CallNamed("bench_alloc", 1500); err != nil {
+		t.Fatal(err)
+	}
+	n, err = off.Collections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("gc disabled but %d collections ran", n)
+	}
+}
+
+func TestMultiverseGCDisabledRemovesBookkeeping(t *testing.T) {
+	// The committed gc_enabled=0 variant must skip the counter
+	// entirely, and behaviour must match the dynamic build.
+	mv := build(t, Multiverse, false)
+	if _, err := mv.System().Machine.CallNamed("bench_alloc", 1500); err != nil {
+		t.Fatal(err)
+	}
+	n, err := mv.Collections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("committed gc-off variant ran %d collections", n)
+	}
+	cnt, err := mv.System().Machine.ReadGlobal("gc_count", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 0 {
+		t.Errorf("gc_count = %d, bookkeeping not specialized away", cnt)
+	}
+}
+
+func TestMultiverseGCEnabledStillCollects(t *testing.T) {
+	mv := build(t, Multiverse, true)
+	if _, err := mv.System().Machine.CallNamed("bench_alloc", 1500); err != nil {
+		t.Fatal(err)
+	}
+	n, err := mv.Collections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("committed gc-on variant never collected")
+	}
+}
+
+func TestAllocationPathEffectIsSmall(t *testing.T) {
+	// The paper could not measure a significant effect on cPython; in
+	// the deterministic simulator a small effect is visible, but it
+	// must stay single-digit-ish relative to the whole allocation path
+	// (the gc check is a minor fraction of _PyObject_GC_Alloc).
+	plain := build(t, Plain, false)
+	mv := build(t, Multiverse, false)
+	pr, err := plain.Measure(8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := mv.Measure(8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Mean >= pr.Mean {
+		t.Errorf("no effect at all: plain %.1f, mv %.1f", pr.Mean, vr.Mean)
+	}
+	reduction := (pr.Mean - vr.Mean) / pr.Mean * 100
+	if reduction > 40 {
+		t.Errorf("allocation-path effect implausibly large: %.1f%%", reduction)
+	}
+}
