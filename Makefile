@@ -1,0 +1,35 @@
+# Development targets. `make check` is the tier-1 gate: formatting,
+# vet, build, tests, and a short mvbench smoke run.
+
+GO ?= go
+
+.PHONY: check fmt vet build test smoke bench
+
+check: fmt vet build test smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# A quick end-to-end run of the Figure 1 experiment, once with and once
+# without the predecoded-instruction cache: the two tables must be
+# identical (the cache never changes simulated cycles).
+smoke:
+	@$(GO) run ./cmd/mvbench -samples 20 -iters 20 fig1 > /tmp/mv-smoke-on.txt
+	@$(GO) run ./cmd/mvbench -samples 20 -iters 20 -decode-cache=false fig1 > /tmp/mv-smoke-off.txt
+	@if ! cmp -s /tmp/mv-smoke-on.txt /tmp/mv-smoke-off.txt; then \
+		echo "mvbench fig1 differs with decode cache on/off:"; \
+		diff /tmp/mv-smoke-on.txt /tmp/mv-smoke-off.txt; exit 1; fi
+	@cat /tmp/mv-smoke-on.txt
+
+bench:
+	$(GO) test -bench=. -benchmem

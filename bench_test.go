@@ -13,8 +13,11 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/grepsim"
+	"repro/internal/isa"
 	"repro/internal/kernelsim"
+	"repro/internal/mem"
 	"repro/internal/muslsim"
 	"repro/internal/pysim"
 )
@@ -152,6 +155,59 @@ func BenchmarkFig5Musl(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// --- Host-side interpreter throughput ---
+
+// BenchmarkInterpreterThroughput measures how many simulated
+// instructions per host second the interpreter retires on a hot loop,
+// with and without the predecoded-instruction cache. Unlike the
+// experiment benchmarks above, the ns/op column here IS the result:
+// the cache must not change any simulated cycle (see
+// internal/difftest), only the host-side insts/sec metric.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	const textBase, iters = uint64(0x400000), int32(10_000)
+	program := func() []byte {
+		var a isa.Asm
+		a.Movi(1, 0)
+		loop := a.Len()
+		a.AluI(isa.ADDI, 1, 1)
+		a.AluI(isa.XORI, 2, 5)
+		a.Alu(isa.ADD, 3, 2)
+		a.CmpI(1, iters)
+		jccAt := a.Len()
+		a.Jcc(isa.LT, int32(loop-(jccAt+6)))
+		a.Hlt()
+		return a.Bytes()
+	}()
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		if !cached {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := mem.New()
+			if err := m.Map(textBase, mem.PageSize, mem.RWX); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Write(textBase, program); err != nil {
+				b.Fatal(err)
+			}
+			c := cpu.New(m, cpu.DefaultConfig())
+			c.SetDecodeCache(cached)
+			var insts uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.SetPC(textBase) // also clears the halted state
+				n, err := c.Run(10_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts += n
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "insts/sec")
+		})
 	}
 }
 

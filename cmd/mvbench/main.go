@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/grepsim"
 	"repro/internal/kernelsim"
 	"repro/internal/muslsim"
@@ -26,6 +27,12 @@ import (
 var (
 	samples = flag.Int("samples", 200, "samples per measurement")
 	iters   = flag.Uint64("iters", 100, "calls per sample")
+
+	// Reported cycle counts are bit-identical either way (the
+	// difftests assert it); the knob exists to demonstrate exactly
+	// that, and to time the host-side speedup.
+	decodeCache = flag.Bool("decode-cache", cpu.DecodeCacheDefault(),
+		"use the predecoded-instruction cache (cycle counts are identical either way)")
 )
 
 func opts() kernelsim.MeasureOpts {
@@ -34,6 +41,7 @@ func opts() kernelsim.MeasureOpts {
 
 func main() {
 	flag.Parse()
+	cpu.SetDecodeCacheDefault(*decodeCache)
 	experiments := map[string]func() error{
 		"fig1":               fig1,
 		"fig4-spinlock":      fig4Spinlock,

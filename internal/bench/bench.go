@@ -109,10 +109,14 @@ func Table(title string, header []string, rows [][]string) string {
 	}
 	s := title + "\n"
 	s += line(header)
-	for i := range widths {
-		header[i] = dashes(widths[i])
+	// The separator is built in a fresh slice: writing the dashes into
+	// the caller's header would render them as column titles the next
+	// time the slice is reused.
+	sep := make([]string, len(widths))
+	for i, w := range widths {
+		sep[i] = dashes(w)
 	}
-	s += line(header)
+	s += line(sep)
 	for _, row := range rows {
 		s += line(row)
 	}

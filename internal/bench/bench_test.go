@@ -137,6 +137,22 @@ func TestTableFormatting(t *testing.T) {
 	}
 }
 
+func TestTableDoesNotMutateHeader(t *testing.T) {
+	// Regression: Table used to write the separator dashes into the
+	// caller's header slice, so reusing one header across two tables
+	// rendered "----" strings as the second table's column titles.
+	header := []string{"variant", "cycles"}
+	Table("first", header, [][]string{{"a", "1"}})
+	if header[0] != "variant" || header[1] != "cycles" {
+		t.Fatalf("header mutated: %q", header)
+	}
+	out := Table("second", header, [][]string{{"b", "2"}})
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "variant") || !strings.Contains(lines[1], "cycles") {
+		t.Errorf("second table lost its column titles:\n%s", out)
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{Mean: 1.234, Std: 0.5, Samples: 10}
 	if s := r.String(); !strings.Contains(s, "1.23") || !strings.Contains(s, "n=10") {

@@ -19,6 +19,12 @@
 //     is explicitly flushed (forgetting the flush after binary
 //     patching is a real bug the tests provoke).
 //
+// A predecoded-instruction cache (decodecache.go) is layered on top of
+// each icache line so the steady-state Step loop dispatches on cached
+// isa.Inst structs instead of re-decoding raw bytes. It is a pure
+// host-side accelerator: simulated cycle counts are bit-identical with
+// it enabled or disabled.
+//
 // Cycle counts are deterministic: the same program always reports the
 // same number of cycles.
 package cpu
@@ -128,6 +134,8 @@ type Stats struct {
 	Calls        uint64
 	ICacheFills  uint64
 	Interrupts   uint64
+	DecodeHits   uint64 // instructions dispatched from the decode cache
+	DecodeMisses uint64 // instructions decoded from raw bytes (cache enabled)
 }
 
 // CPU is a single m64 hardware thread.
@@ -146,7 +154,10 @@ type CPU struct {
 	ras  []uint64
 	rasN int
 
-	icache map[uint64]*icLine // page number -> cached line
+	icache      map[uint64]*icLine // page number -> cached line
+	decodeCache bool               // serve Step from predecoded instructions
+	lastPN      uint64             // page number memo for the decode-cache fast path
+	lastLine    *icLine            // line memo; nil = invalid, cleared by FlushICache
 
 	mode       Mode
 	intrOn     bool
@@ -173,6 +184,12 @@ type CPU struct {
 type icLine struct {
 	bytes   []byte // snapshot of the page at fill time
 	version uint64 // page version at fill time (diagnostic only)
+
+	// dec lazily caches instructions decoded from bytes, indexed by
+	// in-page offset (Len == 0 means not decoded). It lives and dies
+	// with the line, so FlushICache invalidates both together — see
+	// decodecache.go.
+	dec []isa.Inst
 }
 
 // New returns a CPU executing from m with the given cost model.
@@ -181,11 +198,12 @@ func New(m *mem.Memory, cfg Config) *CPU {
 		panic(fmt.Sprintf("cpu: BTBSize %d is not a power of two", cfg.BTBSize))
 	}
 	return &CPU{
-		Mem:    m,
-		cfg:    cfg,
-		btb:    make([]btbEntry, cfg.BTBSize),
-		ras:    make([]uint64, cfg.RASDepth),
-		icache: make(map[uint64]*icLine),
+		Mem:         m,
+		cfg:         cfg,
+		btb:         make([]btbEntry, cfg.BTBSize),
+		ras:         make([]uint64, cfg.RASDepth),
+		icache:      make(map[uint64]*icLine),
+		decodeCache: decodeCacheDefault,
 	}
 }
 
@@ -256,6 +274,9 @@ func (c *CPU) FlushICache(addr, n uint64) {
 	for pn := first; pn <= last; pn++ {
 		delete(c.icache, pn)
 	}
+	// The decode-cache fast path memoizes the last line; a flush may
+	// have dropped it.
+	c.lastLine = nil
 }
 
 // FlushPredictor clears the BTB and the return-address stack. The
@@ -318,34 +339,43 @@ func (c *CPU) Step() error {
 	if c.halted {
 		return fmt.Errorf("cpu: step on halted CPU")
 	}
+	pc := c.pc
+	if c.decodeCache {
+		if in, ok := c.cachedInst(pc); ok {
+			c.stats.DecodeHits++
+			if c.Trace != nil {
+				c.Trace(pc, in)
+			}
+			return c.exec(in)
+		}
+	}
 	var window [maxInstLen]byte
-	n, err := c.icFetch(c.pc, window[:])
+	n, err := c.icFetch(pc, window[:])
 	if err != nil {
-		return &execError{c.pc, err}
+		return &execError{pc, err}
 	}
 
-	// NOPN: only the length byte matters; the padding need not be
-	// fetched (it may even cross into the next page).
+	var in isa.Inst
 	if n >= 2 && isa.Op(window[0]) == isa.NOPN {
-		length := uint64(window[1])
+		// NOPN: only the length byte matters; the padding need not be
+		// fetched (it may even cross into the next page).
+		length := int(window[1])
 		if length < 2 {
-			return &execError{c.pc, fmt.Errorf("NOPN length %d", length)}
+			return &execError{pc, fmt.Errorf("NOPN length %d", length)}
 		}
-		if c.Trace != nil {
-			c.Trace(c.pc, isa.Inst{Op: isa.NOPN, Len: int(length)})
+		in = isa.Inst{Op: isa.NOPN, Len: length}
+	} else {
+		in, err = isa.Decode(window[:n])
+		if err != nil {
+			return &execError{pc, err}
 		}
-		c.pc += length
-		c.cycles += uint64(c.cfg.CostNop)
-		c.stats.Instructions++
-		return nil
 	}
-
-	in, err := isa.Decode(window[:n])
-	if err != nil {
-		return &execError{c.pc, err}
+	if c.decodeCache {
+		c.stats.DecodeMisses++
+		c.cacheInst(pc, in)
 	}
 	if c.Trace != nil {
-		c.Trace(c.pc, in)
+		c.Trace(pc, in)
 	}
 	return c.exec(in)
 }
@@ -356,11 +386,13 @@ func (c *CPU) exec(in isa.Inst) error {
 	cost := 0
 	c.stats.Instructions++
 
+	// Every opcode must fall through to the common epilogue below: an
+	// early return would skip the interrupt-perturbation check, making
+	// a due interrupt silently unserviceable across that instruction
+	// (a real bug the RDTSC regression test provokes).
 	switch in.Op {
 	case isa.HLT:
 		c.halted = true
-		c.pc = next
-		return nil
 
 	case isa.NOP, isa.NOPN:
 		cost = c.cfg.CostNop
@@ -564,11 +596,10 @@ func (c *CPU) exec(in isa.Inst) error {
 	case isa.RDTSC:
 		// Like rdtsc_ordered: the cost is charged before the value is
 		// read so that back-to-back reads measure the in-between work
-		// plus one timer read.
+		// plus one timer read. cost stays 0 so the epilogue adds
+		// nothing more, but the interrupt check still runs.
 		c.cycles += uint64(c.cfg.CostRdtsc)
 		c.regs[in.Rd] = c.cycles
-		c.pc = next
-		return nil
 
 	case isa.OUTB:
 		if c.OutB != nil {
@@ -701,7 +732,14 @@ func (c *CPU) predictCond(pc uint64, taken bool) bool {
 func (c *CPU) predictIndirect(pc, target uint64) bool {
 	e := &c.btb[pc&uint64(c.cfg.BTBSize-1)]
 	correct := e.valid && e.tag == pc && e.target == target
-	*e = btbEntry{valid: true, tag: pc, counter: e.counter, target: target}
+	if !e.valid || e.tag != pc {
+		// Re-initialize like predictCond: the saturating counter of an
+		// aliased entry was trained by an unrelated pc and must not be
+		// carried into the new entry.
+		*e = btbEntry{valid: true, tag: pc, counter: 1, target: target}
+		return correct
+	}
+	e.target = target
 	return correct
 }
 

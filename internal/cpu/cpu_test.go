@@ -574,3 +574,82 @@ func TestLea(t *testing.T) {
 		t.Errorf("lea = %d, want 96", c.Reg(0))
 	}
 }
+
+func TestRdtscServicesDueInterrupts(t *testing.T) {
+	// Regression: RDTSC (and HLT) used to return from exec before the
+	// common epilogue, so a CPU with interrupt perturbation enabled
+	// never serviced a due interrupt across a timer read — back-to-back
+	// RDTSCs appeared to run on an interrupt-free machine, exactly
+	// where the §6.1/§7.5 measurement methodology needs the
+	// perturbation visible.
+	const intrCost = 1000
+	var a isa.Asm
+	a.Sti()
+	a.Rdtsc(0)
+	a.Rdtsc(1)
+	a.Rdtsc(2)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	c.SetInterruptPerturbation(1, intrCost) // due after every instruction
+	run(t, c)
+	if c.Stats().Interrupts < 3 {
+		t.Fatalf("interrupts = %d, want one per instruction (>= 3)", c.Stats().Interrupts)
+	}
+	// The schedule is deterministic: every inter-read gap is exactly
+	// one timer read plus one serviced interrupt.
+	want := uint64(c.Config().CostRdtsc) + intrCost
+	if d := c.Reg(1) - c.Reg(0); d != want {
+		t.Errorf("rdtsc delta r1-r0 = %d, want %d (interrupt skipped)", d, want)
+	}
+	if d := c.Reg(2) - c.Reg(1); d != want {
+		t.Errorf("rdtsc delta r2-r1 = %d, want %d (interrupt skipped)", d, want)
+	}
+}
+
+func TestIndirectRetagResetsAliasedCounter(t *testing.T) {
+	// Regression: predictIndirect re-tagged an aliased BTB entry with
+	// counter: e.counter, carrying a conditional-branch saturating
+	// counter trained by an unrelated pc into the new entry. A JCC and
+	// a CLLR aliasing the same direct-mapped slot must not share
+	// counter state.
+	cfg := DefaultConfig()
+	cfg.BTBSize = 16
+	c := New(mem.New(), cfg)
+	jccPC := uint64(0x1000)  // slot 0
+	callPC := uint64(0x2000) // also slot 0: 0x2000 & 15 == 0x1000 & 15
+	if jccPC&uint64(cfg.BTBSize-1) != callPC&uint64(cfg.BTBSize-1) {
+		t.Fatal("test pcs do not alias")
+	}
+	// Train the conditional branch to strongly taken.
+	for i := 0; i < 4; i++ {
+		c.predictCond(jccPC, true)
+	}
+	if got := c.btb[jccPC&uint64(cfg.BTBSize-1)].counter; got != 3 {
+		t.Fatalf("trained counter = %d, want saturated 3", got)
+	}
+	// An indirect call evicts the aliased entry; the counter must be
+	// re-initialized like predictCond does, not inherited.
+	c.predictIndirect(callPC, 0x5000)
+	e := c.btb[callPC&uint64(cfg.BTBSize-1)]
+	if e.tag != callPC || !e.valid || e.target != 0x5000 {
+		t.Fatalf("entry not re-tagged: %+v", e)
+	}
+	if e.counter != 1 {
+		t.Errorf("aliased counter carried over: counter = %d, want re-init 1", e.counter)
+	}
+	// Behavioral check: a never-seen not-taken branch at the call's pc
+	// (the site could be patched to a JCC) must not predict taken off
+	// the inherited counter.
+	if !c.predictCond(callPC, false) {
+		t.Error("fresh branch mispredicted taken due to inherited counter")
+	}
+	// On a tag match the counter is preserved, only the target moves.
+	c.predictIndirect(jccPC, 0x6000)            // re-tags slot to jccPC
+	correct := c.predictIndirect(jccPC, 0x7000) // same tag, new target
+	if correct {
+		t.Error("changed target predicted as correct")
+	}
+	if e := c.btb[jccPC&uint64(cfg.BTBSize-1)]; e.target != 0x7000 || e.counter != 1 {
+		t.Errorf("tag-match update wrong: %+v", e)
+	}
+}

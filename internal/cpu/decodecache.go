@@ -1,0 +1,106 @@
+// The predecoded-instruction cache.
+//
+// Before this cache existed, Step re-fetched a 10-byte window from the
+// icache line snapshot and re-ran isa.Decode on every single
+// instruction, which made decoding the hottest host-side path of every
+// experiment (cf. Wong et al., "Faster Variational Execution with
+// Transparent Bytecode Transformation": cache the decoded form,
+// invalidate when code changes). Here "when code changes" is exactly
+// the icache-flush discipline the paper's patching runtime already
+// follows, so the decode cache simply lives inside the icache line:
+//
+//   - Entries are derived exclusively from the line's byte snapshot
+//     and die with the line in FlushICache. Patching without a flush
+//     therefore keeps executing the stale *decoded* instruction, just
+//     as the raw interpreter keeps executing the stale bytes.
+//   - An instruction is cached only when its whole fetch window lies
+//     within one page. A window that straddles a page boundary draws
+//     bytes from two lines with independent lifetimes (the second page
+//     can be flushed while the first stays cached), so those always
+//     take the fetch-and-decode slow path.
+//   - Each CPU owns its icache, so each SMP hardware thread keeps a
+//     private decode cache, mirroring real per-core frontends.
+//
+// The cache is a pure host-side accelerator: simulated cycle counts,
+// architectural state, and all non-Decode* statistics are bit-identical
+// with the cache enabled or disabled. internal/difftest asserts this
+// invariance on the E1 and E4 workloads.
+
+package cpu
+
+import (
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// decodeCacheDefault is the construction-time default for new CPUs,
+// overridable globally with SetDecodeCacheDefault (mvbench's
+// -decode-cache flag) or the environment knob MV_DECODE_CACHE=off
+// (also "0" / "false").
+var decodeCacheDefault = func() bool {
+	switch os.Getenv("MV_DECODE_CACHE") {
+	case "0", "off", "false":
+		return false
+	}
+	return true
+}()
+
+// SetDecodeCacheDefault sets whether newly constructed CPUs use the
+// predecoded-instruction cache. Existing CPUs are unaffected.
+func SetDecodeCacheDefault(on bool) { decodeCacheDefault = on }
+
+// DecodeCacheDefault reports the construction-time default.
+func DecodeCacheDefault() bool { return decodeCacheDefault }
+
+// SetDecodeCache enables or disables this CPU's predecoded-instruction
+// cache. Toggling is safe at any point: entries are always consistent
+// with their line's byte snapshot, so re-enabling reuses them.
+func (c *CPU) SetDecodeCache(on bool) { c.decodeCache = on }
+
+// DecodeCacheEnabled reports whether this CPU serves Step from the
+// decode cache.
+func (c *CPU) DecodeCacheEnabled() bool { return c.decodeCache }
+
+// cachedInst returns the predecoded instruction at pc, if present. It
+// memoizes the last icache line to keep the steady-state hit path free
+// of map lookups; FlushICache clears the memo along with the lines.
+func (c *CPU) cachedInst(pc uint64) (isa.Inst, bool) {
+	pn := pc >> mem.PageShift
+	line := c.lastLine
+	if line == nil || c.lastPN != pn {
+		var ok bool
+		line, ok = c.icache[pn]
+		if !ok {
+			return isa.Inst{}, false
+		}
+		c.lastPN, c.lastLine = pn, line
+	}
+	if line.dec == nil {
+		return isa.Inst{}, false
+	}
+	in := line.dec[pc&(mem.PageSize-1)]
+	return in, in.Len != 0
+}
+
+// cacheInst records the decode of the instruction at pc, provided its
+// whole fetch window lies within pc's page. Instructions in the last
+// maxInstLen-1 bytes of a page are never cached: their window bytes
+// came (or would come) from the next page's line, whose lifetime is
+// independent — caching them under the first page could outlive a
+// flush of the second and break the cycle-invariance guarantee.
+func (c *CPU) cacheInst(pc uint64, in isa.Inst) {
+	off := pc & (mem.PageSize - 1)
+	if off+maxInstLen > mem.PageSize {
+		return
+	}
+	line, ok := c.icache[pc>>mem.PageShift]
+	if !ok {
+		return
+	}
+	if line.dec == nil {
+		line.dec = make([]isa.Inst, mem.PageSize)
+	}
+	line.dec[off] = in
+}

@@ -1,0 +1,93 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/kernelsim"
+	"repro/internal/muslsim"
+)
+
+// The predecoded-instruction cache is a host-side accelerator: it must
+// never change a single simulated cycle. These tests run the E1
+// (Figure 1 spinlock) and E4 (musl libc) workloads end to end with the
+// cache on and off and require the bench.Result structs — mean, std,
+// min, max, sample and drop counts — to be bit-identical.
+
+// withDecodeCache runs f with the package-wide decode-cache default
+// forced to on, restoring the previous default afterwards.
+func withDecodeCache(t *testing.T, on bool, f func()) {
+	t.Helper()
+	orig := cpu.DecodeCacheDefault()
+	cpu.SetDecodeCacheDefault(on)
+	defer cpu.SetDecodeCacheDefault(orig)
+	f()
+}
+
+func TestDecodeCacheInvarianceFig1(t *testing.T) {
+	opts := kernelsim.MeasureOpts{Samples: 10, Iters: 30, Warmup: 2}
+	measure := func(on bool) map[string]bench.Result {
+		out := make(map[string]bench.Result)
+		withDecodeCache(t, on, func() {
+			for _, b := range []kernelsim.Fig1Binding{
+				kernelsim.Fig1Static, kernelsim.Fig1Dynamic, kernelsim.Fig1Multiverse,
+			} {
+				for _, smp := range []bool{false, true} {
+					sys, err := kernelsim.BuildFig1(b, smp)
+					if err != nil {
+						t.Fatalf("BuildFig1(%v, %v): %v", b, smp, err)
+					}
+					r, err := sys.Measure(opts)
+					if err != nil {
+						t.Fatalf("Measure(%v, %v): %v", b, smp, err)
+					}
+					out[b.String()+map[bool]string{false: "/up", true: "/smp"}[smp]] = r
+				}
+			}
+		})
+		return out
+	}
+	on := measure(true)
+	off := measure(false)
+	for k, r := range on {
+		if r != off[k] {
+			t.Errorf("%s: results differ with decode cache on/off:\non:  %+v\noff: %+v",
+				k, r, off[k])
+		}
+	}
+}
+
+func TestDecodeCacheInvarianceMusl(t *testing.T) {
+	const samples, iters = 8, 20
+	measure := func(on bool) map[string]bench.Result {
+		out := make(map[string]bench.Result)
+		withDecodeCache(t, on, func() {
+			for _, build := range []muslsim.Build{muslsim.Plain, muslsim.Multiverse} {
+				m, err := muslsim.BuildMusl(build)
+				if err != nil {
+					t.Fatalf("BuildMusl(%v): %v", build, err)
+				}
+				if err := m.SetThreads(false); err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range muslsim.Funcs() {
+					r, err := m.Measure(f, samples, iters)
+					if err != nil {
+						t.Fatalf("Measure(%v): %v", f, err)
+					}
+					out[build.String()+"/"+f.String()] = r
+				}
+			}
+		})
+		return out
+	}
+	on := measure(true)
+	off := measure(false)
+	for k, r := range on {
+		if r != off[k] {
+			t.Errorf("%s: results differ with decode cache on/off:\non:  %+v\noff: %+v",
+				k, r, off[k])
+		}
+	}
+}

@@ -10,7 +10,9 @@ import (
 
 // AddCPU attaches another hardware thread to the machine. The new CPU
 // shares the memory (and therefore sees all binary patching) but has
-// its own registers, branch predictors and instruction cache, and its
+// its own registers, branch predictors and instruction cache — and,
+// layered on the icache, its own private predecoded-instruction cache,
+// so one thread's flush never invalidates another's decodes — and its
 // own stack. Instruction-level interleaving of CPUs is up to the
 // caller (see Interleave); each instruction executes atomically, so
 // XCHG retains its locked semantics across CPUs.
@@ -21,6 +23,7 @@ func (m *Machine) AddCPU() (*cpu.CPU, error) {
 		return nil, fmt.Errorf("machine: mapping stack for cpu %d: %w", m.extraCPUs, err)
 	}
 	c := cpu.New(m.Mem, m.CPU.Config())
+	c.SetDecodeCache(m.CPU.DecodeCacheEnabled())
 	c.SetReg(isa.SP, top)
 	c.OutB = m.CPU.OutB
 	return c, nil
