@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test smoke bench
+.PHONY: check fmt vet build test race smoke bench
 
-check: fmt vet build test smoke
+check: fmt vet build test race smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -19,6 +19,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # A quick end-to-end run of the Figure 1 experiment, once with and once
 # without the predecoded-instruction cache: the two tables must be

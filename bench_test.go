@@ -20,6 +20,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/muslsim"
 	"repro/internal/pysim"
+	"repro/internal/trace"
 )
 
 func benchOpts() kernelsim.MeasureOpts {
@@ -181,12 +182,27 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 		a.Hlt()
 		return a.Bytes()
 	}()
-	for _, cached := range []bool{true, false} {
-		name := "cached"
-		if !cached {
-			name = "uncached"
-		}
-		b.Run(name, func(b *testing.B) {
+	// The tracer axis bounds the observability tax: "cached" (nil
+	// tracer) vs "cached+traced" (events only) vs "cached+profiled"
+	// (Step/Call/Ret feeding the cycle profiler). The nil-tracer run
+	// must stay within a few percent of the pre-tracing interpreter —
+	// each hook is one pointer-nil check.
+	modes := []struct {
+		name    string
+		cached  bool
+		collect func() *trace.Collector // nil = no tracer
+	}{
+		{"cached", true, nil},
+		{"uncached", false, nil},
+		{"cached+traced", true, func() *trace.Collector {
+			return trace.NewCollector(trace.Options{})
+		}},
+		{"cached+profiled", true, func() *trace.Collector {
+			return trace.NewCollector(trace.Options{Profile: true})
+		}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
 			m := mem.New()
 			if err := m.Map(textBase, mem.PageSize, mem.RWX); err != nil {
 				b.Fatal(err)
@@ -195,7 +211,14 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			c := cpu.New(m, cpu.DefaultConfig())
-			c.SetDecodeCache(cached)
+			c.SetDecodeCache(mode.cached)
+			if mode.collect != nil {
+				col := mode.collect()
+				col.SetSymbols(trace.NewSymTable([]trace.Sym{
+					{Name: "hotloop", Addr: textBase, Size: uint64(len(program))},
+				}))
+				c.SetTracer(col.NewStream("cpu0", c.Cycles))
+			}
 			var insts uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/kernelsim"
 	"repro/internal/muslsim"
 	"repro/internal/pysim"
+	"repro/internal/trace"
 )
 
 var (
@@ -33,7 +35,26 @@ var (
 	// that, and to time the host-side speedup.
 	decodeCache = flag.Bool("decode-cache", cpu.DecodeCacheDefault(),
 		"use the predecoded-instruction cache (cycle counts are identical either way)")
+
+	jsonPath  = flag.String("json", "", "write machine-readable results to this JSON file")
+	tracePath = flag.String("trace", "", "record all experiment activity and write a Chrome trace-event JSON file")
 )
+
+// jsonEntry is one measurement in the -json output.
+type jsonEntry struct {
+	Experiment string       `json:"experiment"`
+	Label      string       `json:"label"`
+	Result     bench.Result `json:"result"`
+}
+
+var results []jsonEntry
+
+// record notes a measurement for -json and returns it unchanged, so
+// call sites stay one-liners.
+func record(experiment, label string, r bench.Result) bench.Result {
+	results = append(results, jsonEntry{Experiment: experiment, Label: label, Result: r})
+	return r
+}
 
 func opts() kernelsim.MeasureOpts {
 	return kernelsim.MeasureOpts{Samples: *samples, Iters: *iters, Warmup: 5}
@@ -42,6 +63,13 @@ func opts() kernelsim.MeasureOpts {
 func main() {
 	flag.Parse()
 	cpu.SetDecodeCacheDefault(*decodeCache)
+	var col *trace.Collector
+	if *tracePath != "" {
+		// Every system any experiment builds attaches to this collector
+		// (see core.BuildSystem), so one file captures the whole run.
+		col = trace.NewCollector(trace.Options{})
+		core.SetDefaultTraceCollector(col)
+	}
 	experiments := map[string]func() error{
 		"fig1":               fig1,
 		"fig4-spinlock":      fig4Spinlock,
@@ -73,6 +101,44 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if err := writeOutputs(col); err != nil {
+		fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func writeOutputs(col *trace.Collector) error {
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d results to %s\n", len(results), *jsonPath)
+	}
+	if col != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s\n", len(col.Events()), *tracePath)
+	}
+	return nil
 }
 
 func fmtRes(r bench.Result) string { return fmt.Sprintf("%.2f ±%.2f", r.Mean, r.Std) }
@@ -90,6 +156,7 @@ func fig1() error {
 			if err != nil {
 				return err
 			}
+			record("fig1", fmt.Sprintf("%s/smp=%v", b, smp), res)
 			row = append(row, fmtRes(res))
 		}
 		rows = append(rows, row)
@@ -118,6 +185,7 @@ func fig4Spinlock() error {
 			if err != nil {
 				return err
 			}
+			record("fig4-spinlock", fmt.Sprintf("%s/smp=%v", k, smp), res)
 			row = append(row, fmtRes(res))
 		}
 		rows = append(rows, row)
@@ -142,6 +210,7 @@ func fig4PVOps() error {
 			if err != nil {
 				return err
 			}
+			record("fig4-pvops", fmt.Sprintf("%v/%v", k, env), res)
 			row = append(row, fmtRes(res))
 		}
 		rows = append(rows, row)
@@ -176,6 +245,7 @@ func fig5() error {
 				if err != nil {
 					return err
 				}
+				record("fig5", fmt.Sprintf("%s/%v/%v", mode, f, b), res)
 				per[bi][f] = cell{res}
 			}
 		}
@@ -224,6 +294,7 @@ func grep() error {
 		if err != nil {
 			return err
 		}
+		record("grep", b.String(), res)
 		delta := ""
 		if b == grepsim.Plain {
 			plainMean = res.Mean
@@ -255,6 +326,7 @@ func cpython() error {
 		if err != nil {
 			return err
 		}
+		record("cpython", b.String(), res)
 		delta := ""
 		if b == pysim.Plain {
 			plainMean = res.Mean
@@ -315,6 +387,8 @@ func ablationBTB() error {
 		if err != nil {
 			return err
 		}
+		record("ablation-btb", b.String()+"/warm", warm)
+		record("ablation-btb", b.String()+"/cold", cold)
 		rows = append(rows, []string{b.String(), fmtRes(warm), fmtRes(cold),
 			fmt.Sprintf("%+.1f", cold.Mean-warm.Mean)})
 	}
@@ -348,6 +422,9 @@ func ablationMechanism() error {
 	if err != nil {
 		return err
 	}
+	record("ablation-mechanism", "full", full)
+	record("ablation-mechanism", "no-inlining", noInline)
+	record("ablation-mechanism", "prologue-only", prologueOnly)
 	rows := [][]string{
 		{"full mechanism (sites + inlining)", fmtRes(full)},
 		{"no tiny-body inlining", fmtRes(noInline)},
@@ -372,6 +449,7 @@ func alternative() error {
 			if err != nil {
 				return err
 			}
+			record("alternative", fmt.Sprintf("%v/feature=%v", k, feature), res)
 			row = append(row, fmtRes(res))
 		}
 		rows = append(rows, row)

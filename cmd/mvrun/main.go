@@ -2,12 +2,14 @@
 // optionally commits the multiverse configuration, calls a function,
 // and reports the result, the console output and the cycle count.
 //
-//	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-wx] image
+//	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-wx] \
+//	      [-trace out.json] [-profile out.folded] image
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/link"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // isaInst aliases the decoded-instruction type for the trace callback.
@@ -31,9 +34,11 @@ var (
 	args       = flag.String("args", "", "comma-separated integer arguments")
 	commit     = flag.Bool("commit", false, "run multiverse_commit() before calling")
 	wx         = flag.Bool("wx", false, "enforce the strict W^X memory policy")
-	trace      = flag.Bool("trace", false, "print every executed instruction")
+	itrace     = flag.Bool("itrace", false, "print every executed instruction")
 	state      = flag.Bool("state", false, "print the multiverse binding state before running")
-	traceLimit = flag.Int("trace-limit", 200, "stop tracing after this many instructions")
+	traceLimit = flag.Int("trace-limit", 200, "stop instruction tracing after this many instructions")
+	traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+	profileOut = flag.String("profile", "", "write flamegraph-compatible folded stacks of simulated cycles")
 	sets       setFlags
 )
 
@@ -73,6 +78,12 @@ func run(path string) error {
 		return err
 	}
 
+	var col *trace.Collector
+	if *traceOut != "" || *profileOut != "" {
+		col = trace.NewCollector(trace.Options{Profile: *profileOut != ""})
+		core.AttachTracer(col, m, rt)
+	}
+
 	for _, s := range sets {
 		name, valStr, ok := strings.Cut(s, "=")
 		if !ok {
@@ -102,7 +113,7 @@ func run(path string) error {
 		fmt.Printf("commit: %d bound, %d generic\n", res.Committed, res.Generic)
 	}
 
-	if *trace {
+	if *itrace {
 		printed := 0
 		m.CPU.Trace = func(pc uint64, in isaInst) {
 			if printed >= *traceLimit {
@@ -146,5 +157,29 @@ func run(path string) error {
 	if out := m.Console(); len(out) > 0 {
 		fmt.Printf("console: %q\n", out)
 	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, col.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", len(col.Events()), *traceOut)
+	}
+	if *profileOut != "" {
+		if err := writeFile(*profileOut, col.WriteFolded); err != nil {
+			return err
+		}
+		fmt.Printf("profile: %d stacks -> %s\n", len(col.Profile().Folded), *profileOut)
+	}
 	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

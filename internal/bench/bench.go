@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -23,6 +24,19 @@ type Result struct {
 // String renders mean ± std.
 func (r Result) String() string {
 	return fmt.Sprintf("%.2f ±%.2f (n=%d)", r.Mean, r.Std, r.Samples)
+}
+
+// MarshalJSON renders the result with lowercase field names, the
+// shape mvbench -json emits for downstream tooling.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Mean    float64 `json:"mean"`
+		Std     float64 `json:"std"`
+		Min     float64 `json:"min"`
+		Max     float64 `json:"max"`
+		Samples int     `json:"samples"`
+		Dropped int     `json:"dropped"`
+	}{r.Mean, r.Std, r.Min, r.Max, r.Samples, r.Dropped})
 }
 
 // OutlierFraction is the maximum fraction of samples dropped as

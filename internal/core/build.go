@@ -69,7 +69,11 @@ func BuildSystem(opts GenOptions, machOpts []machine.Option, srcs ...Source) (*S
 	if err != nil {
 		return nil, err
 	}
-	return &System{Machine: m, RT: rt, Report: rep}, nil
+	s := &System{Machine: m, RT: rt, Report: rep}
+	if defaultTraceCollector != nil {
+		s.AttachTracer(defaultTraceCollector)
+	}
+	return s, nil
 }
 
 // SetSwitch writes a value into a configuration switch by name.

@@ -23,6 +23,13 @@ type Platform interface {
 	FlushICache(addr, n uint64)
 }
 
+// MemStatser is implemented by platforms that can expose the memory
+// system's operation counters (mem.Stats); StateReport includes them
+// when available.
+type MemStatser interface {
+	MemStats() mem.Stats
+}
+
 // UserPlatform patches like a user-space process: mprotect the pages
 // writable (never writable+executable, so it also works under strict
 // W^X), write, and restore the original protection.
@@ -76,6 +83,9 @@ func (p *UserPlatform) FlushICache(addr, n uint64) {
 	p.Stats.ICacheFlush++
 }
 
+// MemStats implements MemStatser.
+func (p *UserPlatform) MemStats() mem.Stats { return p.M.Mem.Stats }
+
 // KernelPlatform patches like kernel code: straight through the
 // physical mapping, no protection flips, but still an icache flush.
 type KernelPlatform struct {
@@ -103,3 +113,6 @@ func (p *KernelPlatform) FlushICache(addr, n uint64) {
 	p.M.CPU.FlushICache(addr, n)
 	p.Stats.ICacheFlush++
 }
+
+// MemStats implements MemStatser.
+func (p *KernelPlatform) MemStats() mem.Stats { return p.M.Mem.Stats }

@@ -62,5 +62,13 @@ func (rt *Runtime) StateReport() string {
 		}
 		fmt.Fprintf(&sb, "var  %-24s = %d\n", v.Name, val)
 	}
+
+	s := rt.Stats
+	fmt.Fprintf(&sb, "stat commits=%d reverts=%d sites{patched=%d inlined=%d reverted=%d} prologues=%d generic-signals=%d\n",
+		s.Commits, s.Reverts, s.SitesPatched, s.SitesInlined, s.SitesReverted, s.ProloguePatch, s.GenericSignals)
+	if ms, ok := rt.plat.(MemStatser); ok {
+		m := ms.MemStats()
+		fmt.Fprintf(&sb, "mem  protect-calls=%d icache-flushes=%d\n", m.ProtectCalls, m.Flushes)
+	}
 	return sb.String()
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"regexp"
+	"testing"
+)
+
+// The report program exercises every StateReport section: a
+// multiversed function, a function-pointer switch, and a plain
+// configuration switch.
+const reportProgram = `
+	multiverse int feature_enabled;
+
+	long fast_calls;
+	long slow_calls;
+	void fast_path(void) { fast_calls++; }
+	void slow_path(void) { slow_calls++; }
+
+	multiverse void process(void) {
+		if (feature_enabled) {
+			fast_path();
+		} else {
+			slow_path();
+		}
+	}
+
+	void handle_request(void) { process(); }
+
+	multiverse void (*notify)(void);
+	void poke(void) { notify(); }
+`
+
+// hexAddrs normalizes layout-dependent addresses so the goldens stay
+// stable across codegen changes.
+var hexAddrs = regexp.MustCompile(`0x[0-9a-f]+`)
+
+func normalizeReport(s string) string { return hexAddrs.ReplaceAllString(s, "0xADDR") }
+
+func buildReportSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "report", Text: reportProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestStateReportGolden(t *testing.T) {
+	sys := buildReportSystem(t)
+	rt := sys.RT
+
+	const generic = `func process                  generic (dynamic)  [0/1 sites patched]
+fptr notify                   indirect (dynamic)  [1 sites]
+var  feature_enabled          = 0
+stat commits=0 reverts=0 sites{patched=0 inlined=0 reverted=0} prologues=0 generic-signals=0
+mem  protect-calls=3 icache-flushes=0
+`
+	if got := normalizeReport(rt.StateReport()); got != generic {
+		t.Errorf("generic report mismatch:\ngot:\n%s\nwant:\n%s", got, generic)
+	}
+
+	if err := sys.SetSwitch("feature_enabled", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetFnPtr("notify", "fast_path"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const committed = `func process                  bound to variant @0xADDR  [1/1 sites patched, prologue redirected]
+fptr notify                   bound to 0xADDR  [1 sites]
+var  feature_enabled          = 1
+stat commits=1 reverts=0 sites{patched=2 inlined=0 reverted=0} prologues=1 generic-signals=0
+mem  protect-calls=9 icache-flushes=3
+`
+	if got := normalizeReport(rt.StateReport()); got != committed {
+		t.Errorf("committed report mismatch:\ngot:\n%s\nwant:\n%s", got, committed)
+	}
+
+	if err := rt.Revert(); err != nil {
+		t.Fatal(err)
+	}
+
+	const reverted = `func process                  generic (dynamic)  [0/1 sites patched]
+fptr notify                   indirect (dynamic)  [1 sites]
+var  feature_enabled          = 1
+stat commits=1 reverts=1 sites{patched=2 inlined=0 reverted=2} prologues=1 generic-signals=0
+mem  protect-calls=15 icache-flushes=6
+`
+	if got := normalizeReport(rt.StateReport()); got != reverted {
+		t.Errorf("reverted report mismatch:\ngot:\n%s\nwant:\n%s", got, reverted)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/link"
+	"repro/internal/trace"
 )
 
 // Runtime is the multiverse run-time library (paper §4, Table 1): it
@@ -26,6 +27,10 @@ type Runtime struct {
 
 	// Stats accumulates patching work across all commits.
 	Stats RuntimeStats
+
+	// Tracer, when non-nil, records commit/revert spans, the switch
+	// values that drove them, and every site/prologue patch.
+	Tracer trace.Tracer
 
 	// DisableInlining turns off tiny-body call-site inlining; variants
 	// are always installed as direct calls (ablation E9).
@@ -247,6 +252,13 @@ func (rt *Runtime) patchSite(st *siteState, newBytes []byte) error {
 	copy(st.current, padded)
 	st.patched = !bytesEqual(st.current, st.original)
 	rt.plat.FlushICache(st.desc.Addr, uint64(st.size))
+	if rt.Tracer != nil {
+		var restore uint64
+		if !st.patched {
+			restore = 1
+		}
+		rt.Tracer.Emit(trace.KindPatchSite, st.desc.Addr, uint64(st.size), restore)
+	}
 	return nil
 }
 
@@ -351,6 +363,9 @@ func (rt *Runtime) patchPrologue(fs *funcState, v *VariantDesc) error {
 	rt.plat.FlushICache(fs.fd.Generic, isa.CallSiteLen)
 	fs.prologueOn = true
 	rt.Stats.ProloguePatch++
+	if rt.Tracer != nil {
+		rt.Tracer.EmitName(trace.KindProloguePatch, fs.fd.Generic, v.Addr, 0, fs.fd.Name)
+	}
 	return nil
 }
 
@@ -363,6 +378,9 @@ func (rt *Runtime) restorePrologue(fs *funcState) error {
 	}
 	rt.plat.FlushICache(fs.fd.Generic, isa.CallSiteLen)
 	fs.prologueOn = false
+	if rt.Tracer != nil {
+		rt.Tracer.EmitName(trace.KindPrologueRestore, fs.fd.Generic, 0, 0, fs.fd.Name)
+	}
 	return nil
 }
 
@@ -492,11 +510,36 @@ type CommitResult struct {
 	Generic   int // functions left on their generic implementation
 }
 
+// emitSwitchValues records the current value of every configuration
+// switch at the start of a commit span, so a trace shows *why* the
+// runtime picked the variants it did.
+func (rt *Runtime) emitSwitchValues() {
+	for i := range rt.desc.Vars {
+		vd := &rt.desc.Vars[i]
+		if vd.FnPtr {
+			if ptr, err := rt.readPointer(vd.Addr); err == nil {
+				rt.Tracer.EmitName(trace.KindSwitchValue, vd.Addr, ptr, 1, vd.Name)
+			}
+			continue
+		}
+		if val, err := rt.readSwitch(vd); err == nil {
+			rt.Tracer.EmitName(trace.KindSwitchValue, vd.Addr, uint64(val), 0, vd.Name)
+		}
+	}
+}
+
 // Commit inspects all multiversed variables, selects optimized
 // variants and installs them (Table 1: multiverse_commit).
 func (rt *Runtime) Commit() (CommitResult, error) {
 	rt.Stats.Commits++
 	var res CommitResult
+	if rt.Tracer != nil {
+		rt.Tracer.Emit(trace.KindCommitBegin, 0, 0, 0)
+		rt.emitSwitchValues()
+		defer func() {
+			rt.Tracer.Emit(trace.KindCommitEnd, 0, uint64(res.Committed), uint64(res.Generic))
+		}()
+	}
 	for _, fs := range rt.funcs {
 		ok, err := rt.commitFunc(fs)
 		if err != nil {
@@ -526,6 +569,10 @@ func (rt *Runtime) Commit() (CommitResult, error) {
 // (Table 1: multiverse_revert).
 func (rt *Runtime) Revert() error {
 	rt.Stats.Reverts++
+	if rt.Tracer != nil {
+		rt.Tracer.Emit(trace.KindRevertBegin, 0, 0, 0)
+		defer rt.Tracer.Emit(trace.KindRevertEnd, 0, 0, 0)
+	}
 	for _, fs := range rt.funcs {
 		if err := rt.revertFunc(fs); err != nil {
 			return err
@@ -547,7 +594,19 @@ func (rt *Runtime) CommitFunc(generic uint64) (bool, error) {
 		return false, fmt.Errorf("core: %#x is not a multiversed function", generic)
 	}
 	rt.Stats.Commits++
-	return rt.commitFunc(fs)
+	if rt.Tracer == nil {
+		return rt.commitFunc(fs)
+	}
+	rt.Tracer.EmitName(trace.KindCommitBegin, generic, 0, 0, fs.fd.Name)
+	bound, err := rt.commitFunc(fs)
+	var nc, ng uint64
+	if bound {
+		nc = 1
+	} else if err == nil {
+		ng = 1
+	}
+	rt.Tracer.EmitName(trace.KindCommitEnd, generic, nc, ng, fs.fd.Name)
+	return bound, err
 }
 
 // RevertFunc reverts a single function (Table 1: multiverse_revert_func).
@@ -557,6 +616,10 @@ func (rt *Runtime) RevertFunc(generic uint64) error {
 		return fmt.Errorf("core: %#x is not a multiversed function", generic)
 	}
 	rt.Stats.Reverts++
+	if rt.Tracer != nil {
+		rt.Tracer.EmitName(trace.KindRevertBegin, generic, 0, 0, fs.fd.Name)
+		defer rt.Tracer.EmitName(trace.KindRevertEnd, generic, 0, 0, fs.fd.Name)
+	}
 	return rt.revertFunc(fs)
 }
 
@@ -577,6 +640,13 @@ func refersTo(fd *FuncDesc, varAddr uint64) bool {
 func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 	rt.Stats.Commits++
 	var res CommitResult
+	if rt.Tracer != nil {
+		rt.Tracer.Emit(trace.KindCommitBegin, varAddr, 0, 0)
+		rt.emitSwitchValues()
+		defer func() {
+			rt.Tracer.Emit(trace.KindCommitEnd, varAddr, uint64(res.Committed), uint64(res.Generic))
+		}()
+	}
 	if ps, ok := rt.fnptrs[varAddr]; ok {
 		ok2, err := rt.commitFnPtr(ps)
 		if err != nil {
@@ -613,6 +683,10 @@ func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 // (Table 1: multiverse_revert_refs).
 func (rt *Runtime) RevertRefs(varAddr uint64) error {
 	rt.Stats.Reverts++
+	if rt.Tracer != nil {
+		rt.Tracer.Emit(trace.KindRevertBegin, varAddr, 0, 0)
+		defer rt.Tracer.Emit(trace.KindRevertEnd, varAddr, 0, 0)
+	}
 	if ps, ok := rt.fnptrs[varAddr]; ok {
 		return rt.revertFnPtr(ps)
 	}

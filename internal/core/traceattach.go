@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// defaultTraceCollector, when non-nil, is attached to every System
+// that BuildSystem constructs. It is the same global-toggle idiom as
+// cpu.SetDecodeCacheDefault: mvbench and the difftests build systems
+// deep inside experiment helpers, so a parameter cannot reach them.
+var defaultTraceCollector *trace.Collector
+
+// SetDefaultTraceCollector installs (or, with nil, removes) the
+// collector that BuildSystem auto-attaches to new systems.
+func SetDefaultTraceCollector(c *trace.Collector) { defaultTraceCollector = c }
+
+// DefaultTraceCollector returns the collector BuildSystem attaches.
+func DefaultTraceCollector() *trace.Collector { return defaultTraceCollector }
+
+// TraceSymbols builds the symbol set the profiler and trace exporter
+// resolve addresses against: every symbol inside an executable
+// segment of the image, plus one synthesized symbol per generated
+// variant body ("name.variant0", ...) — variants are emitted by the
+// multiverse compiler pass and never make it into the linker's
+// symbol table, but they are where committed execution spends its
+// cycles.
+func TraceSymbols(img *link.Image, desc *Descriptors) []trace.Sym {
+	exec := func(addr uint64) bool {
+		for _, seg := range img.Segments {
+			if seg.Prot&mem.Exec != 0 && addr >= seg.Addr && addr < seg.Addr+uint64(len(seg.Data)) {
+				return true
+			}
+		}
+		return false
+	}
+	var syms []trace.Sym
+	for name, s := range img.Symbols {
+		if s.Size > 0 && exec(s.Addr) {
+			syms = append(syms, trace.Sym{Name: name, Addr: s.Addr, Size: s.Size})
+		}
+	}
+	if desc != nil {
+		for i := range desc.Funcs {
+			fd := &desc.Funcs[i]
+			for vi := range fd.Variants {
+				v := &fd.Variants[vi]
+				syms = append(syms, trace.Sym{
+					Name: fmt.Sprintf("%s.variant%d", fd.Name, vi),
+					Addr: v.Addr,
+					Size: v.Size,
+				})
+			}
+		}
+	}
+	return syms
+}
+
+// AttachTracer wires a collector into every layer of a built system:
+// a "cpu0" stream stamped from the primary CPU's cycle clock feeds
+// the CPU hooks, the shared memory and the runtime library, and the
+// machine remembers the collector so AddCPU gives later hardware
+// threads their own streams. The first attached system also installs
+// the collector's symbol table (image symbols plus synthesized
+// variant names). Returns the created stream.
+func AttachTracer(col *trace.Collector, m *machine.Machine, rt *Runtime) *trace.Stream {
+	s := col.NewStream("cpu0", m.CPU.Cycles)
+	m.CPU.SetTracer(s)
+	m.Mem.Tracer = s
+	if rt != nil {
+		rt.Tracer = s
+	}
+	m.TraceCollector = col
+	if !col.HasSymbols() {
+		var desc *Descriptors
+		if rt != nil {
+			desc = rt.desc
+		}
+		col.SetSymbols(trace.NewSymTable(TraceSymbols(m.Image, desc)))
+	}
+	return s
+}
+
+// AttachTracer wires the collector into this system's machine and
+// runtime (see the package-level AttachTracer).
+func (s *System) AttachTracer(col *trace.Collector) *trace.Stream {
+	return AttachTracer(col, s.Machine, s.RT)
+}

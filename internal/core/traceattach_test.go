@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+const traceProgram = `
+	multiverse int feature_enabled;
+
+	long fast_calls;
+	long slow_calls;
+	void fast_path(void) { fast_calls++; }
+	void slow_path(void) { slow_calls++; }
+
+	multiverse void process(void) {
+		if (feature_enabled) {
+			fast_path();
+		} else {
+			slow_path();
+		}
+	}
+
+	void handle_request(void) { process(); }
+`
+
+// TestAttachTracerEndToEnd drives the full observability path: build,
+// attach, commit, run, then check the events, the Chrome export and
+// the folded profile.
+func TestAttachTracerEndToEnd(t *testing.T) {
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "trace", Text: traceProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector(trace.Options{Profile: true})
+	sys.AttachTracer(col)
+
+	if err := sys.SetSwitch("feature_enabled", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Machine.CallNamed("handle_request"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.RT.Revert(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := make(map[trace.Kind]int)
+	for _, ev := range col.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []trace.Kind{
+		trace.KindCommitBegin, trace.KindCommitEnd,
+		trace.KindRevertBegin, trace.KindRevertEnd,
+		trace.KindSwitchValue, trace.KindPatchSite,
+		trace.KindProloguePatch, trace.KindPrologueRestore,
+		trace.KindProtect, trace.KindFlushICache,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v event recorded (have %v)", want, kinds)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := col.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if _, ok := out["traceEvents"]; !ok {
+		t.Fatal("Chrome export missing traceEvents")
+	}
+
+	prof := col.Profile()
+	if prof == nil || len(prof.Folded) == 0 {
+		t.Fatal("profiler produced no folded stacks")
+	}
+	var sawVariant, sawCallee bool
+	for stack := range prof.Folded {
+		if strings.Contains(stack, "process.variant") {
+			sawVariant = true
+		}
+		if strings.Contains(stack, "fast_path") {
+			sawCallee = true
+		}
+	}
+	if !sawVariant {
+		t.Errorf("no stack attributes cycles to a synthesized variant symbol: %v", keys(prof.Folded))
+	}
+	if !sawCallee {
+		t.Errorf("no stack reaches fast_path: %v", keys(prof.Folded))
+	}
+	if _, ok := prof.Calls["handle_request;process.variant1"]; !ok {
+		t.Errorf("missing patched call edge, have %v", keys(prof.Calls))
+	}
+}
+
+func keys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTraceSymbolsIncludeVariants checks the symbol synthesis the
+// linker cannot provide.
+func TestTraceSymbolsIncludeVariants(t *testing.T) {
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "trace", Text: traceProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := TraceSymbols(sys.Machine.Image, sys.RT.desc)
+	have := make(map[string]bool)
+	for _, s := range syms {
+		if s.Size == 0 {
+			t.Errorf("symbol %q has zero size", s.Name)
+		}
+		have[s.Name] = true
+	}
+	for _, want := range []string{"process", "process.variant0", "process.variant1", "handle_request", "fast_path"} {
+		if !have[want] {
+			t.Errorf("missing symbol %q", want)
+		}
+	}
+	// Data symbols must not pollute the executable table.
+	if have["fast_calls"] || have["feature_enabled"] {
+		t.Errorf("data symbols leaked into the exec symbol table")
+	}
+}
+
+// TestBuildSystemDefaultCollector checks the global auto-attach hook
+// mvbench -trace relies on.
+func TestBuildSystemDefaultCollector(t *testing.T) {
+	col := trace.NewCollector(trace.Options{})
+	SetDefaultTraceCollector(col)
+	defer SetDefaultTraceCollector(nil)
+
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "trace", Text: traceProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.RT.Tracer == nil || sys.Machine.CPU.Tracer() == nil {
+		t.Fatal("default collector was not attached by BuildSystem")
+	}
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Events()) == 0 {
+		t.Error("no events collected through the default collector")
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Mode distinguishes bare-metal execution from running as a
@@ -84,6 +85,13 @@ type Config struct {
 
 	BTBSize  int // number of direct-mapped BTB entries (power of two)
 	RASDepth int // return-address stack depth
+
+	// Tracer, when non-nil, observes execution and variability events
+	// (see internal/trace). Tracing is strictly passive: cycle counts
+	// are bit-identical with any tracer attached or none, and a nil
+	// tracer costs one pointer check per hook. SetTracer rebinds it
+	// after construction.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the calibrated cost model used by the paper
@@ -162,6 +170,7 @@ type CPU struct {
 	mode       Mode
 	intrOn     bool
 	hypervisor Hypervisor
+	tracer     trace.Tracer
 
 	intrPeriod uint64 // perturbation period in cycles; 0 = off
 	intrCost   uint64
@@ -204,8 +213,17 @@ func New(m *mem.Memory, cfg Config) *CPU {
 		ras:         make([]uint64, cfg.RASDepth),
 		icache:      make(map[uint64]*icLine),
 		decodeCache: decodeCacheDefault,
+		tracer:      cfg.Tracer,
 	}
 }
+
+// SetTracer installs (or, with nil, removes) the event/profiling
+// tracer. Safe at any point; tracing is passive and never changes
+// simulated cycles.
+func (c *CPU) SetTracer(t trace.Tracer) { c.tracer = t }
+
+// Tracer returns the installed tracer, if any.
+func (c *CPU) Tracer() trace.Tracer { return c.tracer }
 
 // Reg returns the value of register r.
 func (c *CPU) Reg(r isa.Reg) uint64 { return c.regs[r] }
@@ -268,6 +286,10 @@ func (c *CPU) Config() Config { return c.cfg }
 func (c *CPU) FlushICache(addr, n uint64) {
 	if n == 0 {
 		return
+	}
+	c.Mem.Stats.Flushes++
+	if c.tracer != nil {
+		c.tracer.Emit(trace.KindFlushICache, addr, n, 0)
 	}
 	first := addr >> mem.PageShift
 	last := (addr + n - 1) >> mem.PageShift
@@ -346,9 +368,38 @@ func (c *CPU) Step() error {
 			if c.Trace != nil {
 				c.Trace(pc, in)
 			}
+			if c.tracer != nil {
+				c.tracer.Step(pc, c.cycles)
+			}
 			return c.exec(in)
 		}
 	}
+	return c.stepDecode(pc)
+}
+
+// stepFast is Step without the per-instruction hook checks. Run
+// selects it once per call when neither Trace nor a tracer is
+// installed, so the unobserved hot path pays nothing for
+// observability (hooks cannot appear mid-Run). The decode-miss path
+// keeps its hook checks: it is off the hot path anyway and sharing it
+// avoids a second copy of the decoder.
+func (c *CPU) stepFast() error {
+	if c.halted {
+		return fmt.Errorf("cpu: step on halted CPU")
+	}
+	pc := c.pc
+	if c.decodeCache {
+		if in, ok := c.cachedInst(pc); ok {
+			c.stats.DecodeHits++
+			return c.exec(in)
+		}
+	}
+	return c.stepDecode(pc)
+}
+
+// stepDecode is the decode-cache-miss path: fetch through the
+// instruction cache, decode, optionally cache, execute.
+func (c *CPU) stepDecode(pc uint64) error {
 	var window [maxInstLen]byte
 	n, err := c.icFetch(pc, window[:])
 	if err != nil {
@@ -376,6 +427,9 @@ func (c *CPU) Step() error {
 	}
 	if c.Trace != nil {
 		c.Trace(pc, in)
+	}
+	if c.tracer != nil {
+		c.tracer.Step(pc, c.cycles)
 	}
 	return c.exec(in)
 }
@@ -469,6 +523,13 @@ func (c *CPU) exec(in isa.Inst) error {
 		if !c.predictCond(pc, taken) {
 			cost += c.cfg.MispredictPenalty
 			c.stats.Mispredicts++
+			if c.tracer != nil {
+				var t uint64
+				if taken {
+					t = 1
+				}
+				c.tracer.Emit(trace.KindMispredict, pc, t, 0)
+			}
 		}
 		c.stats.Branches++
 		if taken {
@@ -487,6 +548,9 @@ func (c *CPU) exec(in isa.Inst) error {
 		next += uint64(in.Imm)
 		cost = c.cfg.CostCall
 		c.stats.Calls++
+		if c.tracer != nil {
+			c.tracer.Call(pc, next)
+		}
 
 	case isa.CLLM:
 		ptr, err := c.Mem.ReadUint(uint64(in.Imm), 8)
@@ -501,6 +565,9 @@ func (c *CPU) exec(in isa.Inst) error {
 		if !c.predictIndirect(pc, ptr) {
 			cost += c.cfg.MispredictPenalty
 			c.stats.Mispredicts++
+			if c.tracer != nil {
+				c.tracer.Emit(trace.KindMispredict, pc, ptr, 1)
+			}
 		}
 		c.stats.Branches++
 		c.rasPush(next)
@@ -509,6 +576,9 @@ func (c *CPU) exec(in isa.Inst) error {
 		}
 		next = ptr
 		c.stats.Calls++
+		if c.tracer != nil {
+			c.tracer.Call(pc, ptr)
+		}
 
 	case isa.CLLR:
 		target := c.regs[in.Rs]
@@ -516,6 +586,9 @@ func (c *CPU) exec(in isa.Inst) error {
 		if !c.predictIndirect(pc, target) {
 			cost += c.cfg.MispredictPenalty
 			c.stats.Mispredicts++
+			if c.tracer != nil {
+				c.tracer.Emit(trace.KindMispredict, pc, target, 1)
+			}
 		}
 		c.stats.Branches++
 		c.rasPush(next)
@@ -524,6 +597,9 @@ func (c *CPU) exec(in isa.Inst) error {
 		}
 		next = target
 		c.stats.Calls++
+		if c.tracer != nil {
+			c.tracer.Call(pc, target)
+		}
 
 	case isa.RET:
 		ret, err := c.pop()
@@ -534,8 +610,14 @@ func (c *CPU) exec(in isa.Inst) error {
 		if !c.rasPop(ret) {
 			cost += c.cfg.MispredictPenalty
 			c.stats.Mispredicts++
+			if c.tracer != nil {
+				c.tracer.Emit(trace.KindMispredict, pc, ret, 2)
+			}
 		}
 		next = ret
+		if c.tracer != nil {
+			c.tracer.Ret(pc, ret)
+		}
 
 	case isa.PUSH:
 		if err := c.push(c.regs[in.Rd]); err != nil {
@@ -627,6 +709,9 @@ func (c *CPU) exec(in isa.Inst) error {
 		c.cycles += c.intrCost
 		c.stats.Interrupts++
 		c.nextIntr = c.cycles + c.intrPeriod
+		if c.tracer != nil {
+			c.tracer.Emit(trace.KindInterrupt, pc, c.intrCost, 0)
+		}
 	}
 	return nil
 }
@@ -763,14 +848,28 @@ func (c *CPU) rasPop(actual uint64) bool {
 // returns the number of instructions executed.
 func (c *CPU) Run(maxSteps uint64) (uint64, error) {
 	var steps uint64
-	for steps < maxSteps {
-		if c.halted {
-			return steps, nil
+	// Hooks are bound before Run and cannot appear mid-run, so the
+	// per-instruction nil checks can be hoisted out of the loop.
+	if c.Trace == nil && c.tracer == nil {
+		for steps < maxSteps {
+			if c.halted {
+				return steps, nil
+			}
+			if err := c.stepFast(); err != nil {
+				return steps, err
+			}
+			steps++
 		}
-		if err := c.Step(); err != nil {
-			return steps, err
+	} else {
+		for steps < maxSteps {
+			if c.halted {
+				return steps, nil
+			}
+			if err := c.Step(); err != nil {
+				return steps, err
+			}
+			steps++
 		}
-		steps++
 	}
 	if !c.halted {
 		return steps, fmt.Errorf("cpu: exceeded %d steps without HLT (pc=%#x)", maxSteps, c.pc)

@@ -1,0 +1,68 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// TestFlushCountsAndTraces checks the CPU-side memory counter and the
+// FlushICache trace event.
+func TestFlushCountsAndTraces(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 1)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	col := trace.NewCollector(trace.Options{})
+	c.SetTracer(col.NewStream("cpu0", c.Cycles))
+
+	c.FlushICache(textBase, 16)
+	c.FlushICache(textBase, 0) // zero-length: no flush, no event
+	if got := c.Mem.Stats.Flushes; got != 1 {
+		t.Errorf("mem flush counter = %d, want 1", got)
+	}
+	evs := col.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	if ev := evs[0]; ev.Kind != trace.KindFlushICache || ev.Addr != textBase || ev.A != 16 {
+		t.Errorf("bad flush event: %+v", ev)
+	}
+}
+
+// TestTracerObservesMispredicts runs a short loop whose final
+// not-taken branch mispredicts and checks the profiler feed and the
+// mispredict event agree with the CPU's own statistics.
+func TestTracerObservesMispredicts(t *testing.T) {
+	var a isa.Asm
+	a.Movi(1, 0)
+	loop := a.Len()
+	a.AluI(isa.ADDI, 1, 1)
+	a.CmpI(1, 4)
+	jccAt := a.Len()
+	a.Jcc(isa.LT, int32(loop-(jccAt+6)))
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	col := trace.NewCollector(trace.Options{Profile: true})
+	col.SetSymbols(trace.NewSymTable([]trace.Sym{{Name: "loopfn", Addr: textBase, Size: 64}}))
+	c.SetTracer(col.NewStream("cpu0", c.Cycles))
+	run(t, c)
+
+	var mispredicts int
+	for _, ev := range col.Events() {
+		if ev.Kind == trace.KindMispredict {
+			mispredicts++
+		}
+	}
+	if want := int(c.Stats().Mispredicts); mispredicts != want {
+		t.Errorf("traced %d mispredicts, CPU counted %d", mispredicts, want)
+	}
+	if mispredicts == 0 {
+		t.Error("expected at least one mispredict in a short loop")
+	}
+	prof := col.Profile()
+	if prof.Flat["loopfn"] == 0 {
+		t.Errorf("profiler attributed no cycles to loopfn: %v", prof.Flat)
+	}
+}

@@ -1,0 +1,95 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/kernelsim"
+	"repro/internal/muslsim"
+	"repro/internal/trace"
+)
+
+// Tracing is strictly passive: attaching a collector (with profiling,
+// so every hook on the interpreter hot path fires) must not change a
+// single simulated cycle. These tests run the E1 (Figure 1 spinlock)
+// and E4 (musl libc) workloads end to end with and without a tracer
+// and require the bench.Result structs to be bit-identical.
+
+// withTracer runs f with BuildSystem's default trace collector set to
+// a fresh profiling collector (or left unset), restoring afterwards.
+func withTracer(t *testing.T, on bool, f func()) {
+	t.Helper()
+	if on {
+		core.SetDefaultTraceCollector(trace.NewCollector(trace.Options{Profile: true}))
+		defer core.SetDefaultTraceCollector(nil)
+	}
+	f()
+}
+
+func TestTracerInvarianceFig1(t *testing.T) {
+	opts := kernelsim.MeasureOpts{Samples: 10, Iters: 30, Warmup: 2}
+	measure := func(on bool) map[string]bench.Result {
+		out := make(map[string]bench.Result)
+		withTracer(t, on, func() {
+			for _, b := range []kernelsim.Fig1Binding{
+				kernelsim.Fig1Static, kernelsim.Fig1Dynamic, kernelsim.Fig1Multiverse,
+			} {
+				for _, smp := range []bool{false, true} {
+					sys, err := kernelsim.BuildFig1(b, smp)
+					if err != nil {
+						t.Fatalf("BuildFig1(%v, %v): %v", b, smp, err)
+					}
+					r, err := sys.Measure(opts)
+					if err != nil {
+						t.Fatalf("Measure(%v, %v): %v", b, smp, err)
+					}
+					out[b.String()+map[bool]string{false: "/up", true: "/smp"}[smp]] = r
+				}
+			}
+		})
+		return out
+	}
+	traced := measure(true)
+	plain := measure(false)
+	for k, r := range traced {
+		if r != plain[k] {
+			t.Errorf("%s: results differ with tracer on/off:\ntraced: %+v\nplain:  %+v",
+				k, r, plain[k])
+		}
+	}
+}
+
+func TestTracerInvarianceMusl(t *testing.T) {
+	const samples, iters = 8, 20
+	measure := func(on bool) map[string]bench.Result {
+		out := make(map[string]bench.Result)
+		withTracer(t, on, func() {
+			for _, build := range []muslsim.Build{muslsim.Plain, muslsim.Multiverse} {
+				m, err := muslsim.BuildMusl(build)
+				if err != nil {
+					t.Fatalf("BuildMusl(%v): %v", build, err)
+				}
+				if err := m.SetThreads(false); err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range muslsim.Funcs() {
+					r, err := m.Measure(f, samples, iters)
+					if err != nil {
+						t.Fatalf("Measure(%v): %v", f, err)
+					}
+					out[build.String()+"/"+f.String()] = r
+				}
+			}
+		})
+		return out
+	}
+	traced := measure(true)
+	plain := measure(false)
+	for k, r := range traced {
+		if r != plain[k] {
+			t.Errorf("%s: results differ with tracer on/off:\ntraced: %+v\nplain:  %+v",
+				k, r, plain[k])
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/link"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Stack layout.
@@ -33,6 +34,10 @@ type Machine struct {
 	// MaxSteps bounds every Call; it guards against runaway guest
 	// code. The default is 2^40.
 	MaxSteps uint64
+
+	// TraceCollector, when non-nil (set by core.AttachTracer), gives
+	// each CPU added with AddCPU its own cycle-stamped event stream.
+	TraceCollector *trace.Collector
 
 	extraCPUs int // secondary hardware threads added via AddCPU
 }

@@ -26,6 +26,14 @@ func (m *Machine) AddCPU() (*cpu.CPU, error) {
 	c.SetDecodeCache(m.CPU.DecodeCacheEnabled())
 	c.SetReg(isa.SP, top)
 	c.OutB = m.CPU.OutB
+	// The Config copy carries the primary CPU's tracer, whose stream is
+	// stamped from the primary's clock; give this CPU a stream of its
+	// own, or none.
+	if m.TraceCollector != nil {
+		c.SetTracer(m.TraceCollector.NewStream(fmt.Sprintf("cpu%d", m.extraCPUs), c.Cycles))
+	} else {
+		c.SetTracer(nil)
+	}
 	return c, nil
 }
 

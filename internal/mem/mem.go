@@ -11,6 +11,8 @@ package mem
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // PageSize is the size of a page in bytes.
@@ -95,6 +97,15 @@ type page struct {
 	version uint64 // incremented on every write; the icache keys on it
 }
 
+// Stats counts the memory-system operations the paper's evaluation
+// cares about: protection flips (the mprotect cost of user-mode
+// patching, §7.2) and icache flushes (counted here, incremented by
+// the CPUs sharing this memory).
+type Stats struct {
+	ProtectCalls uint64 // successful Protect invocations
+	Flushes      uint64 // icache flushes across all attached CPUs
+}
+
 // Memory is a sparse paged address space.
 type Memory struct {
 	pages map[uint64]*page // keyed by page number (addr >> PageShift)
@@ -102,6 +113,12 @@ type Memory struct {
 	// WXExclusive enforces strict W^X: Map and Protect reject any
 	// protection with both Write and Exec set.
 	WXExclusive bool
+
+	// Stats accumulates operation counters; zero-cost to leave alone.
+	Stats Stats
+
+	// Tracer, when non-nil, observes protection transitions.
+	Tracer trace.Tracer
 }
 
 // New returns an empty address space.
@@ -177,8 +194,13 @@ func (m *Memory) Protect(addr, length uint64, prot Prot) error {
 			return fmt.Errorf("mem: Protect(%#x, %#x): page %#x not mapped", addr, length, pn<<PageShift)
 		}
 	}
+	old := m.pages[first].prot
 	for pn := first; pn <= last; pn++ {
 		m.pages[pn].prot = prot
+	}
+	m.Stats.ProtectCalls++
+	if m.Tracer != nil {
+		m.Tracer.Emit(trace.KindProtect, addr, length, uint64(prot)|uint64(old)<<8)
 	}
 	return nil
 }

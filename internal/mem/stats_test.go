@@ -1,0 +1,42 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestProtectCountsAndTraces(t *testing.T) {
+	m := New()
+	if err := m.Map(0x1000, 2*PageSize, RW); err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector(trace.Options{})
+	m.Tracer = col.NewStream("mem", nil)
+
+	if err := m.Protect(0x1000, PageSize, Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Protect(0x1000, PageSize, RW); err != nil {
+		t.Fatal(err)
+	}
+	// A failing Protect (unmapped page) must count and emit nothing.
+	if err := m.Protect(0x100000, PageSize, Read); err == nil {
+		t.Fatal("Protect of unmapped range should fail")
+	}
+
+	if m.Stats.ProtectCalls != 2 {
+		t.Errorf("ProtectCalls = %d, want 2", m.Stats.ProtectCalls)
+	}
+	evs := col.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != trace.KindProtect || ev.Addr != 0x1000 || ev.A != PageSize {
+		t.Errorf("bad event: %+v", ev)
+	}
+	if newProt, oldProt := Prot(ev.B), Prot(ev.B>>8); newProt != Read || oldProt != RW {
+		t.Errorf("prot packing: new=%v old=%v, want new=%v old=%v", newProt, oldProt, Read, RW)
+	}
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export (the JSON format Perfetto and
+// chrome://tracing load). Simulated cycles map 1:1 to the format's
+// microsecond timestamps; one "thread" per stream. Commit/Revert
+// Begin/End pairs are folded into complete ("X") duration events so a
+// span survives even when the ring buffer dropped its counterpart;
+// every other kind exports as a thread-scoped instant ("i") event.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// cat groups kinds into Perfetto categories.
+func (k Kind) cat() string {
+	switch k {
+	case KindCommitBegin, KindCommitEnd, KindRevertBegin, KindRevertEnd, KindSwitchValue:
+		return "runtime"
+	case KindPatchSite, KindProloguePatch, KindPrologueRestore:
+		return "patch"
+	case KindProtect, KindFlushICache:
+		return "mem"
+	case KindInterrupt, KindMispredict:
+		return "cpu"
+	}
+	return "other"
+}
+
+// hex renders an address the way the rest of the tooling prints them.
+func hex(v uint64) string { return fmt.Sprintf("%#x", v) }
+
+// args renders the kind-specific payload, annotating addresses with
+// symbol names when a table is available.
+func (c *Collector) args(ev Event) map[string]any {
+	a := map[string]any{}
+	sym := func(addr uint64) {
+		a["addr"] = hex(addr)
+		if c.HasSymbols() {
+			if n := c.symtab.Name(addr); n != UnknownName {
+				a["sym"] = n
+			}
+		}
+	}
+	switch ev.Kind {
+	case KindCommitEnd:
+		a["committed"] = ev.A
+		a["generic"] = ev.B
+	case KindSwitchValue:
+		sym(ev.Addr)
+		a["switch"] = ev.Name
+		if ev.B != 0 {
+			a["fnptr"] = hex(ev.A)
+		} else {
+			a["value"] = int64(ev.A)
+		}
+	case KindPatchSite:
+		sym(ev.Addr)
+		a["bytes"] = ev.A
+		if ev.B != 0 {
+			a["restore"] = true
+		}
+	case KindProloguePatch:
+		sym(ev.Addr)
+		a["func"] = ev.Name
+		a["variant"] = hex(ev.A)
+	case KindPrologueRestore:
+		sym(ev.Addr)
+		a["func"] = ev.Name
+	case KindProtect:
+		sym(ev.Addr)
+		a["len"] = ev.A
+		a["prot"] = protString(uint8(ev.B))
+		a["old"] = protString(uint8(ev.B >> 8))
+	case KindFlushICache:
+		sym(ev.Addr)
+		a["len"] = ev.A
+	case KindInterrupt:
+		sym(ev.Addr)
+		a["cost"] = ev.A
+	case KindMispredict:
+		sym(ev.Addr)
+		a["target"] = hex(ev.A)
+		a["branch"] = [...]string{"cond", "indirect", "ret"}[ev.B%3]
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	return a
+}
+
+// protString mirrors mem.Prot.String without importing mem (import
+// cycle: mem emits trace events).
+func protString(p uint8) string {
+	b := []byte("---")
+	if p&1 != 0 {
+		b[0] = 'r'
+	}
+	if p&2 != 0 {
+		b[1] = 'w'
+	}
+	if p&4 != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// spanBegin reports whether k opens a span and which kind closes it.
+func (k Kind) spanBegin() (Kind, bool) {
+	switch k {
+	case KindCommitBegin:
+		return KindCommitEnd, true
+	case KindRevertBegin:
+		return KindRevertEnd, true
+	}
+	return 0, false
+}
+
+func (k Kind) spanEnd() bool { return k == KindCommitEnd || k == KindRevertEnd }
+
+// WriteChromeTrace writes every buffered event, merged across
+// streams, as Chrome trace-event JSON.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	events := c.Events()
+	out := chromeTrace{DisplayTimeUnit: "ns"}
+	if d := c.Dropped(); d > 0 {
+		out.OtherData = map[string]any{"droppedEvents": d}
+	}
+	// Thread-name metadata rows, one per stream.
+	for _, s := range c.streams {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: s.id,
+			Args: map[string]any{"name": s.label},
+		})
+	}
+
+	// Pending span begins, per stream, matched innermost-first.
+	type open struct {
+		end Kind
+		ev  Event
+	}
+	pending := make(map[int][]open)
+	var lastCycle uint64
+	emitSpan := func(begin Event, endCycle uint64, args map[string]any) {
+		dur := float64(endCycle - begin.Cycle)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: begin.Kind.String(), Cat: begin.Kind.cat(), Ph: "X",
+			Ts: float64(begin.Cycle), Dur: &dur, Pid: 0, Tid: begin.Stream,
+			Args: args,
+		})
+	}
+	for _, ev := range events {
+		if ev.Cycle > lastCycle {
+			lastCycle = ev.Cycle
+		}
+		if end, ok := ev.Kind.spanBegin(); ok {
+			pending[ev.Stream] = append(pending[ev.Stream], open{end: end, ev: ev})
+			continue
+		}
+		if ev.Kind.spanEnd() {
+			stack := pending[ev.Stream]
+			matched := false
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].end == ev.Kind {
+					emitSpan(stack[i].ev, ev.Cycle, c.args(ev))
+					pending[ev.Stream] = append(stack[:i], stack[i+1:]...)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				// The begin was overwritten in the ring: degrade to an
+				// instant so the operation stays visible.
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: ev.Kind.String(), Cat: ev.Kind.cat(), Ph: "i",
+					Ts: float64(ev.Cycle), Pid: 0, Tid: ev.Stream, S: "t",
+					Args: c.args(ev),
+				})
+			}
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Kind.String(), Cat: ev.Kind.cat(), Ph: "i",
+			Ts: float64(ev.Cycle), Pid: 0, Tid: ev.Stream, S: "t",
+			Args: c.args(ev),
+		})
+	}
+	// Close spans whose end was never recorded.
+	for _, stack := range pending {
+		for _, o := range stack {
+			emitSpan(o.ev, lastCycle, nil)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

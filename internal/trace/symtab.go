@@ -1,0 +1,90 @@
+package trace
+
+import "sort"
+
+// Sym is one named address range — a function of the linked image or
+// a generated variant body. The machine/runtime layers build these
+// from link.Image symbols and multiverse descriptors (this package
+// cannot import them without a cycle).
+type Sym struct {
+	Name string
+	Addr uint64
+	Size uint64
+}
+
+// UnknownName labels cycles spent outside every known symbol (the
+// halt stub, gaps between functions).
+const UnknownName = "[unknown]"
+
+// SymTable resolves program counters to symbol names. Lookup returns
+// the containing range, so callers can memoize and skip the binary
+// search while the pc stays inside one function — the profiler's
+// steady-state fast path.
+type SymTable struct {
+	syms []Sym // sorted by Addr, zero-size entries removed
+}
+
+// NewSymTable builds a table from syms (copied, sorted, zero-size
+// entries dropped, exact-duplicate addresses deduplicated).
+func NewSymTable(syms []Sym) *SymTable {
+	t := &SymTable{syms: make([]Sym, 0, len(syms))}
+	for _, s := range syms {
+		if s.Size > 0 {
+			t.syms = append(t.syms, s)
+		}
+	}
+	sort.Slice(t.syms, func(i, j int) bool {
+		if t.syms[i].Addr != t.syms[j].Addr {
+			return t.syms[i].Addr < t.syms[j].Addr
+		}
+		return t.syms[i].Size > t.syms[j].Size
+	})
+	// Deduplicate identical addresses (keep the widest).
+	out := t.syms[:0]
+	for _, s := range t.syms {
+		if n := len(out); n > 0 && out[n-1].Addr == s.Addr {
+			continue
+		}
+		out = append(out, s)
+	}
+	t.syms = out
+	return t
+}
+
+// Len returns the number of symbols.
+func (t *SymTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.syms)
+}
+
+// Resolve returns the name of the symbol containing pc together with
+// the half-open range [lo, hi) for which that answer stays valid. A
+// pc outside every symbol resolves to UnknownName with the
+// surrounding gap as its range, so memoization works there too. A nil
+// table resolves everything to UnknownName.
+func (t *SymTable) Resolve(pc uint64) (name string, lo, hi uint64) {
+	if t == nil || len(t.syms) == 0 {
+		return UnknownName, 0, ^uint64(0)
+	}
+	i := sort.Search(len(t.syms), func(i int) bool { return t.syms[i].Addr > pc }) - 1
+	if i >= 0 {
+		s := t.syms[i]
+		if pc < s.Addr+s.Size {
+			return s.Name, s.Addr, s.Addr + s.Size
+		}
+		lo = s.Addr + s.Size
+	}
+	hi = ^uint64(0)
+	if i+1 < len(t.syms) {
+		hi = t.syms[i+1].Addr
+	}
+	return UnknownName, lo, hi
+}
+
+// Name resolves pc to a symbol name alone.
+func (t *SymTable) Name(pc uint64) string {
+	n, _, _ := t.Resolve(pc)
+	return n
+}

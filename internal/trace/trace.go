@@ -1,0 +1,277 @@
+// Package trace is the unified tracing and profiling subsystem of the
+// simulated multiverse stack.
+//
+// The paper's entire evaluation (§6) is about *observing* the cost of
+// dynamic variability — call-site patch counts, icache flushes, cycle
+// deltas across variant commits — so the simulator records exactly
+// those moments as typed events: Commit/Revert spans with the switch
+// values that drove them, per-site patches and prologue redirections,
+// page-protection flips, icache invalidations, interrupts and branch
+// mispredicts. Events are collected in bounded per-CPU ring buffers
+// (one Stream per hardware thread plus the runtime library, each
+// stamped from its CPU's simulated-cycle clock) and merged on the
+// cycle timestamp at export time. Two outputs are supported:
+//
+//   - Chrome trace-event JSON (chrome.go), loadable in Perfetto, with
+//     commit/revert rendered as duration spans and everything else as
+//     instant events;
+//   - flamegraph-compatible folded stacks plus flat per-function
+//     cycle and call-edge counters (profile.go), attributed by symbol
+//     name through a SymTable built from the linked image.
+//
+// The package deliberately depends on nothing but the standard
+// library so that the lowest layers (internal/mem, internal/cpu) can
+// emit events without import cycles. A nil Tracer means tracing is
+// off; every hook in the hot interpreter path is a single
+// pointer-nil check and costs no allocations (the difftests assert
+// that simulated cycle counts are bit-identical with tracing on and
+// off, and BenchmarkInterpreterThroughput bounds the host-side cost).
+package trace
+
+import "sort"
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds. Begin/End pairs become duration spans in the Chrome
+// export; everything else is an instant event.
+const (
+	// Variability-management events (internal/core).
+	KindCommitBegin     Kind = iota // a commit operation starts
+	KindCommitEnd                   // A = functions bound, B = left generic
+	KindRevertBegin                 // a revert operation starts
+	KindRevertEnd                   //
+	KindSwitchValue                 // Addr = switch, A = value, B = 1 for fn pointers, Name = switch name
+	KindPatchSite                   // Addr = call site, A = patch-unit bytes, B = 1 when restoring the original
+	KindProloguePatch               // Addr = generic entry, A = variant address, Name = function
+	KindPrologueRestore             // Addr = generic entry, Name = function
+
+	// Memory-system events (internal/mem, internal/cpu).
+	KindProtect     // Addr, A = length, B = new prot | old prot << 8
+	KindFlushICache // Addr, A = length
+
+	// Microarchitectural events (internal/cpu).
+	KindInterrupt  // Addr = pc, A = cycles stolen
+	KindMispredict // Addr = pc, A = actual target/taken, B = 0 cond, 1 indirect, 2 ret
+)
+
+// String names the kind as exported to Chrome traces.
+func (k Kind) String() string {
+	switch k {
+	case KindCommitBegin, KindCommitEnd:
+		return "Commit"
+	case KindRevertBegin, KindRevertEnd:
+		return "Revert"
+	case KindSwitchValue:
+		return "SwitchValue"
+	case KindPatchSite:
+		return "PatchSite"
+	case KindProloguePatch:
+		return "ProloguePatch"
+	case KindPrologueRestore:
+		return "PrologueRestore"
+	case KindProtect:
+		return "Protect"
+	case KindFlushICache:
+		return "FlushICache"
+	case KindInterrupt:
+		return "Interrupt"
+	case KindMispredict:
+		return "Mispredict"
+	}
+	return "Unknown"
+}
+
+// Event is one recorded occurrence. The meaning of Addr, A and B is
+// per Kind (see the constants above).
+type Event struct {
+	Cycle  uint64
+	Addr   uint64
+	A, B   uint64
+	Name   string // optional symbolic label (switch or function name)
+	Kind   Kind
+	Stream int // id of the emitting Stream
+}
+
+// Tracer is the hook interface the simulated stack calls into. A nil
+// Tracer disables tracing; implementations must not mutate simulated
+// state (tracing is strictly passive — cycle counts are bit-identical
+// with any tracer attached or none).
+//
+// Emit/EmitName record variability and machine events; Step, Call and
+// Ret feed the cycle-attribution profiler and are called on the
+// interpreter hot path (scalar arguments only, no allocations).
+type Tracer interface {
+	// Emit records an event; the implementation stamps the cycle.
+	Emit(k Kind, addr, a, b uint64)
+	// EmitName is Emit with a symbolic label.
+	EmitName(k Kind, addr, a, b uint64, name string)
+	// Step observes one retired instruction: its pc and the cycle
+	// counter before execution.
+	Step(pc, cycles uint64)
+	// Call observes a call edge from the instruction at pc to target.
+	Call(pc, target uint64)
+	// Ret observes a return from the instruction at pc to target.
+	Ret(pc, target uint64)
+}
+
+// DefaultLimit is the default per-stream event-buffer bound.
+const DefaultLimit = 1 << 16
+
+// Options configures a Collector.
+type Options struct {
+	// Limit bounds each stream's event buffer; when full, the oldest
+	// events are overwritten (and counted as dropped). 0 means
+	// DefaultLimit.
+	Limit int
+	// Profile enables cycle-attribution profiling (folded stacks,
+	// flat and call-edge counters) from the Step/Call/Ret feed.
+	Profile bool
+}
+
+// Collector owns the per-CPU event streams and the optional profiler.
+// It is not safe for concurrent use; the simulator interleaves CPUs
+// on one goroutine (machine.Interleave), matching that model.
+type Collector struct {
+	limit   int
+	streams []*Stream
+	prof    *Profiler
+	// symtab is kept even without profiling so the Chrome exporter
+	// can annotate addresses with function names.
+	symtab *SymTable
+}
+
+// NewCollector returns an empty collector.
+func NewCollector(o Options) *Collector {
+	if o.Limit <= 0 {
+		o.Limit = DefaultLimit
+	}
+	c := &Collector{limit: o.Limit}
+	if o.Profile {
+		c.prof = newProfiler()
+	}
+	return c
+}
+
+// SetSymbols installs the symbol table used for profiling attribution
+// and for annotating exported events with function names.
+func (c *Collector) SetSymbols(t *SymTable) {
+	if c.prof != nil {
+		c.prof.syms = t
+		// Cached pc ranges were resolved against the old table.
+		for _, s := range c.streams {
+			s.cur.invalidate()
+		}
+	}
+	c.symtab = t
+}
+
+// Symbols returns the installed symbol table (possibly nil).
+func (c *Collector) Symbols() *SymTable { return c.symtab }
+
+// HasSymbols reports whether a non-empty symbol table is installed.
+func (c *Collector) HasSymbols() bool { return c.symtab != nil && len(c.symtab.syms) > 0 }
+
+// NewStream adds an event stream stamped from clock (typically one
+// CPU's Cycles method; nil stamps every event with cycle 0). The
+// label names the stream in exports ("cpu0", "cpu1", ...).
+func (c *Collector) NewStream(label string, clock func() uint64) *Stream {
+	s := &Stream{
+		col:   c,
+		id:    len(c.streams),
+		label: label,
+		clock: clock,
+		buf:   make([]Event, 0, c.limit),
+	}
+	c.streams = append(c.streams, s)
+	return s
+}
+
+// Streams returns the collector's streams in creation order.
+func (c *Collector) Streams() []*Stream { return c.streams }
+
+// Events returns all buffered events merged across streams in
+// simulated-cycle order (ties broken by stream creation order).
+func (c *Collector) Events() []Event {
+	var out []Event
+	for _, s := range c.streams {
+		out = append(out, s.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// Dropped returns the total number of events overwritten because a
+// stream's buffer was full.
+func (c *Collector) Dropped() uint64 {
+	var n uint64
+	for _, s := range c.streams {
+		n += s.dropped
+	}
+	return n
+}
+
+// Profiling reports whether cycle-attribution profiling is enabled.
+func (c *Collector) Profiling() bool { return c.prof != nil }
+
+// Stream is one bounded, cycle-stamped event sequence, usually bound
+// to a single simulated CPU. It implements Tracer.
+type Stream struct {
+	col   *Collector
+	id    int
+	label string
+	clock func() uint64
+
+	buf     []Event // ring once len == cap
+	next    int     // overwrite position when full
+	dropped uint64
+
+	cur profCursor
+}
+
+// ID returns the stream's id (the Chrome-trace tid).
+func (s *Stream) ID() int { return s.id }
+
+// Label returns the stream's display name.
+func (s *Stream) Label() string { return s.label }
+
+// Dropped returns how many events this stream overwrote.
+func (s *Stream) Dropped() uint64 { return s.dropped }
+
+func (s *Stream) now() uint64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock()
+}
+
+func (s *Stream) record(ev Event) {
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, ev)
+		return
+	}
+	s.buf[s.next] = ev
+	s.next = (s.next + 1) % len(s.buf)
+	s.dropped++
+}
+
+// Events returns the stream's buffered events in emission order.
+func (s *Stream) Events() []Event {
+	if len(s.buf) < cap(s.buf) || s.next == 0 {
+		return append([]Event(nil), s.buf...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Emit implements Tracer.
+func (s *Stream) Emit(k Kind, addr, a, b uint64) {
+	s.record(Event{Cycle: s.now(), Kind: k, Addr: addr, A: a, B: b, Stream: s.id})
+}
+
+// EmitName implements Tracer.
+func (s *Stream) EmitName(k Kind, addr, a, b uint64, name string) {
+	s.record(Event{Cycle: s.now(), Kind: k, Addr: addr, A: a, B: b, Name: name, Stream: s.id})
+}
