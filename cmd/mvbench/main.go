@@ -21,6 +21,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/grepsim"
 	"repro/internal/kernelsim"
+	"repro/internal/metrics"
 	"repro/internal/muslsim"
 	"repro/internal/pysim"
 	"repro/internal/trace"
@@ -40,19 +41,49 @@ var (
 	tracePath = flag.String("trace", "", "record all experiment activity and write a Chrome trace-event JSON file")
 )
 
-// jsonEntry is one measurement in the -json output.
+// jsonEntry is one measurement in the -json output. Counters carries
+// the machine-activity deltas attributable to this measurement: every
+// system any experiment builds registers into one shared metrics
+// registry (see core.BuildSystem), and record diffs the aggregated
+// totals since the previous measurement.
 type jsonEntry struct {
-	Experiment string       `json:"experiment"`
-	Label      string       `json:"label"`
-	Result     bench.Result `json:"result"`
+	Experiment string            `json:"experiment"`
+	Label      string            `json:"label"`
+	Result     bench.Result      `json:"result"`
+	Counters   map[string]uint64 `json:"counters,omitempty"`
 }
 
-var results []jsonEntry
+var (
+	results []jsonEntry
+
+	// registry aggregates every system built during the run.
+	registry = metrics.New()
+	lastSeen = map[string]uint64{}
+)
+
+// recordedCounters are the per-measurement activity deltas exported in
+// jsonEntry.Counters, keyed by registry counter name.
+var recordedCounters = []string{
+	"mv_instructions_total",
+	"mv_decode_hits_total",
+	"mv_decode_misses_total",
+	"mv_mem_protect_calls_total",
+	"mv_icache_flushes_total",
+	"mv_commits_total",
+	"mv_sites_patched_total",
+	"mv_sites_inlined_total",
+}
 
 // record notes a measurement for -json and returns it unchanged, so
 // call sites stay one-liners.
 func record(experiment, label string, r bench.Result) bench.Result {
-	results = append(results, jsonEntry{Experiment: experiment, Label: label, Result: r})
+	deltas := make(map[string]uint64, len(recordedCounters))
+	for _, name := range recordedCounters {
+		now := registry.CounterTotal(name)
+		deltas[name] = now - lastSeen[name]
+		lastSeen[name] = now
+	}
+	results = append(results, jsonEntry{Experiment: experiment, Label: label, Result: r, Counters: deltas})
 	return r
 }
 
@@ -63,6 +94,11 @@ func opts() kernelsim.MeasureOpts {
 func main() {
 	flag.Parse()
 	cpu.SetDecodeCacheDefault(*decodeCache)
+	// Every system any experiment builds registers into this one
+	// registry; attaching is scrape-time-only, so the cycle numbers in
+	// the tables are bit-identical with or without it (the difftests
+	// assert exactly that).
+	core.SetDefaultMetricsRegistry(registry)
 	var col *trace.Collector
 	if *tracePath != "" {
 		// Every system any experiment builds attaches to this collector
@@ -107,6 +143,13 @@ func main() {
 	}
 }
 
+// jsonOutput is the top-level -json document: the per-measurement
+// results plus a full metrics snapshot of the whole run.
+type jsonOutput struct {
+	Results []jsonEntry      `json:"results"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
 func writeOutputs(col *trace.Collector) error {
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -115,7 +158,7 @@ func writeOutputs(col *trace.Collector) error {
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		if err := enc.Encode(jsonOutput{Results: results, Metrics: registry.Snapshot()}); err != nil {
 			f.Close()
 			return err
 		}

@@ -3,13 +3,16 @@
 // and reports the result, the console output and the cycle count.
 //
 //	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-wx] \
-//	      [-trace out.json] [-profile out.folded] image
+//	      [-trace out.json] [-profile out.folded] \
+//	      [-metrics-addr :9090] [-sample out.jsonl] [-repeat n] image
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/link"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -39,7 +43,16 @@ var (
 	traceLimit = flag.Int("trace-limit", 200, "stop instruction tracing after this many instructions")
 	traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 	profileOut = flag.String("profile", "", "write flamegraph-compatible folded stacks of simulated cycles")
-	sets       setFlags
+
+	metricsAddr = flag.String("metrics-addr", "",
+		"serve Prometheus text on /metrics and a JSON snapshot on /metrics.json at this address for the duration of the run")
+	samplePath = flag.String("sample", "",
+		"write periodic metric samples to this file (mvtop -file replays it)")
+	sampleEvery = flag.Uint64("sample-every", 100000, "simulated cycles between samples")
+	sampleFmt   = flag.String("sample-format", "jsonl", "sample file format: jsonl or csv")
+	repeat      = flag.Int("repeat", 1, "call the entry function this many times")
+
+	sets setFlags
 )
 
 func main() {
@@ -84,6 +97,48 @@ func run(path string) error {
 		core.AttachTracer(col, m, rt)
 	}
 
+	var reg *metrics.Registry
+	if *metricsAddr != "" || *samplePath != "" {
+		reg = metrics.New()
+		core.AttachMetrics(reg, m, rt)
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := reg.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go http.Serve(ln, mux) //nolint:errcheck // shut down by ln.Close on return
+		fmt.Fprintf(os.Stderr, "mvrun: serving metrics on http://%s/metrics (until the run ends)\n", ln.Addr())
+	}
+
+	var samp *metrics.Sampler
+	if *samplePath != "" {
+		format, err := metrics.ParseSampleFormat(*sampleFmt)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*samplePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		samp = metrics.NewSampler(reg, f, *sampleEvery, format)
+	}
+
 	for _, s := range sets {
 		name, valStr, ok := strings.Cut(s, "=")
 		if !ok {
@@ -113,9 +168,14 @@ func run(path string) error {
 		fmt.Printf("commit: %d bound, %d generic\n", res.Committed, res.Generic)
 	}
 
+	// The per-instruction hook slot is shared: instruction tracing and
+	// the metric sampler both ride it, so compose whatever is enabled.
+	// When neither is, the slot stays nil and the CPU keeps its
+	// unobserved fast path.
+	var hooks []func(pc uint64, in isaInst)
 	if *itrace {
 		printed := 0
-		m.CPU.Trace = func(pc uint64, in isaInst) {
+		hooks = append(hooks, func(pc uint64, in isaInst) {
 			if printed >= *traceLimit {
 				if printed == *traceLimit {
 					fmt.Println("  ... trace limit reached")
@@ -130,6 +190,20 @@ func run(path string) error {
 				}
 			}
 			fmt.Printf("  %#08x: %s\n", pc, in.Format(pc))
+		})
+	}
+	if samp != nil {
+		hooks = append(hooks, func(pc uint64, in isaInst) { samp.Tick(m.CPU.Cycles()) })
+	}
+	switch len(hooks) {
+	case 0:
+	case 1:
+		m.CPU.Trace = hooks[0]
+	default:
+		m.CPU.Trace = func(pc uint64, in isaInst) {
+			for _, h := range hooks {
+				h(pc, in)
+			}
 		}
 	}
 
@@ -147,13 +221,29 @@ func run(path string) error {
 			callArgs = append(callArgs, v)
 		}
 	}
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be at least 1, got %d", *repeat)
+	}
 	start := m.CPU.Cycles()
-	ret, err := m.CallNamed(*entry, callArgs...)
-	if err != nil {
-		return err
+	var ret uint64
+	for i := 0; i < *repeat; i++ {
+		ret, err = m.CallNamed(*entry, callArgs...)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%s(%s) = %d (%#x)\n", *entry, *args, int64(ret), ret)
+	if *repeat > 1 {
+		fmt.Printf("repeat: %d calls\n", *repeat)
+	}
 	fmt.Printf("cycles: %d, instructions: %d\n", m.CPU.Cycles()-start, m.CPU.Stats().Instructions)
+	if samp != nil {
+		samp.Sample() // final row, so short runs always record something
+		if err := samp.Err(); err != nil {
+			return fmt.Errorf("sampler: %w", err)
+		}
+		fmt.Printf("samples: %d rows -> %s\n", samp.Rows(), *samplePath)
+	}
 	if out := m.Console(); len(out) > 0 {
 		fmt.Printf("console: %q\n", out)
 	}
@@ -162,6 +252,16 @@ func run(path string) error {
 			return err
 		}
 		fmt.Printf("trace: %d events -> %s\n", len(col.Events()), *traceOut)
+		// Per-CPU drop accounting on stderr: a stream that overflowed
+		// its ring buffer silently lost its oldest events, and the user
+		// should know which CPU's view is truncated.
+		for _, ss := range col.StreamStats() {
+			fmt.Fprintf(os.Stderr, "mvrun: trace stream %-8s %8d events, %d dropped\n",
+				ss.Label, ss.Events, ss.Dropped)
+			if ss.Dropped > 0 {
+				fmt.Fprintf(os.Stderr, "mvrun: trace stream %s overflowed; oldest events were overwritten\n", ss.Label)
+			}
+		}
 	}
 	if *profileOut != "" {
 		if err := writeFile(*profileOut, col.WriteFolded); err != nil {

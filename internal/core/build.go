@@ -73,6 +73,9 @@ func BuildSystem(opts GenOptions, machOpts []machine.Option, srcs ...Source) (*S
 	if defaultTraceCollector != nil {
 		s.AttachTracer(defaultTraceCollector)
 	}
+	if defaultMetricsRegistry != nil {
+		AttachMetrics(defaultMetricsRegistry, m, rt)
+	}
 	return s, nil
 }
 

@@ -70,5 +70,18 @@ func (rt *Runtime) StateReport() string {
 		m := ms.MemStats()
 		fmt.Fprintf(&sb, "mem  protect-calls=%d icache-flushes=%d\n", m.ProtectCalls, m.Flushes)
 	}
+	// The metrics section appears only when a registry is attached, so
+	// unobserved runs (and their golden tests) render byte-identically
+	// with and without the metrics build-out.
+	if mm := rt.metrics; mm != nil {
+		lat := mm.commitLatency.Snapshot()
+		if lat.Count > 0 {
+			p50, _ := lat.Quantile(0.50)
+			p99, _ := lat.Quantile(0.99)
+			sites := mm.commitSites.Snapshot()
+			fmt.Fprintf(&sb, "mtrc commit-latency{count=%d mean=%.0f p50<=%d p99<=%d cycles} sites/commit mean=%.1f\n",
+				lat.Count, lat.Mean(), p50, p99, sites.Mean())
+		}
+	}
 	return sb.String()
 }

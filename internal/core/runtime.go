@@ -32,6 +32,12 @@ type Runtime struct {
 	// values that drove them, and every site/prologue patch.
 	Tracer trace.Tracer
 
+	// metrics, when non-nil (set by AttachMetrics), observes commit
+	// latency, sites-per-commit and per-function variant residency.
+	// All its methods are nil-receiver safe, so the hooks below cost
+	// one pointer comparison when detached.
+	metrics *MVMetrics
+
 	// DisableInlining turns off tiny-body call-site inlining; variants
 	// are always installed as direct calls (ablation E9).
 	DisableInlining bool
@@ -403,6 +409,7 @@ func (rt *Runtime) commitFunc(fs *funcState) (bool, error) {
 	if fs.committed == v {
 		return true, nil
 	}
+	rt.metrics.noteBinding(fs.fd, v)
 	// Repoint call sites first, then the prologue; both are idempotent
 	// with respect to the saved originals.
 	if rt.PrologueOnly {
@@ -420,6 +427,9 @@ func (rt *Runtime) commitFunc(fs *funcState) (bool, error) {
 }
 
 func (rt *Runtime) revertFunc(fs *funcState) error {
+	if fs.committed != nil {
+		rt.metrics.noteBinding(fs.fd, nil)
+	}
 	if err := rt.revertSitesFor(fs.fd.Generic); err != nil {
 		return err
 	}
@@ -532,6 +542,9 @@ func (rt *Runtime) emitSwitchValues() {
 // variants and installs them (Table 1: multiverse_commit).
 func (rt *Runtime) Commit() (CommitResult, error) {
 	rt.Stats.Commits++
+	if end := rt.metrics.beginCommit(rt); end != nil {
+		defer end()
+	}
 	var res CommitResult
 	if rt.Tracer != nil {
 		rt.Tracer.Emit(trace.KindCommitBegin, 0, 0, 0)
@@ -594,6 +607,9 @@ func (rt *Runtime) CommitFunc(generic uint64) (bool, error) {
 		return false, fmt.Errorf("core: %#x is not a multiversed function", generic)
 	}
 	rt.Stats.Commits++
+	if end := rt.metrics.beginCommit(rt); end != nil {
+		defer end()
+	}
 	if rt.Tracer == nil {
 		return rt.commitFunc(fs)
 	}
@@ -639,6 +655,9 @@ func refersTo(fd *FuncDesc, varAddr uint64) bool {
 // (Table 1: multiverse_commit_refs).
 func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 	rt.Stats.Commits++
+	if end := rt.metrics.beginCommit(rt); end != nil {
+		defer end()
+	}
 	var res CommitResult
 	if rt.Tracer != nil {
 		rt.Tracer.Emit(trace.KindCommitBegin, varAddr, 0, 0)

@@ -132,7 +132,10 @@ type btbEntry struct {
 	target  uint64 // predicted indirect target
 }
 
-// Stats accumulates execution statistics.
+// Stats accumulates execution statistics. The fields are plain
+// uint64s incremented in the interpreter loop; the metrics registry
+// (internal/metrics via core.AttachMetrics) reads them through
+// closures at export time, so observability never adds work here.
 type Stats struct {
 	Instructions uint64
 	Branches     uint64
@@ -144,6 +147,33 @@ type Stats struct {
 	Interrupts   uint64
 	DecodeHits   uint64 // instructions dispatched from the decode cache
 	DecodeMisses uint64 // instructions decoded from raw bytes (cache enabled)
+}
+
+// Add returns the field-wise sum of s and o — how per-CPU stats
+// aggregate across an SMP machine.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Instructions: s.Instructions + o.Instructions,
+		Branches:     s.Branches + o.Branches,
+		Mispredicts:  s.Mispredicts + o.Mispredicts,
+		Loads:        s.Loads + o.Loads,
+		Stores:       s.Stores + o.Stores,
+		Calls:        s.Calls + o.Calls,
+		ICacheFills:  s.ICacheFills + o.ICacheFills,
+		Interrupts:   s.Interrupts + o.Interrupts,
+		DecodeHits:   s.DecodeHits + o.DecodeHits,
+		DecodeMisses: s.DecodeMisses + o.DecodeMisses,
+	}
+}
+
+// DecodeHitRatio returns DecodeHits/(DecodeHits+DecodeMisses), or 0
+// when the decode cache has not been exercised.
+func (s Stats) DecodeHitRatio() float64 {
+	total := s.DecodeHits + s.DecodeMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DecodeHits) / float64(total)
 }
 
 // CPU is a single m64 hardware thread.

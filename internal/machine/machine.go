@@ -39,7 +39,8 @@ type Machine struct {
 	// each CPU added with AddCPU its own cycle-stamped event stream.
 	TraceCollector *trace.Collector
 
-	extraCPUs int // secondary hardware threads added via AddCPU
+	extraCPUs int        // secondary hardware threads added via AddCPU
+	cpus      []*cpu.CPU // every hardware thread, primary first
 }
 
 // Option configures machine construction.
@@ -91,13 +92,28 @@ func New(img *link.Image, opts ...Option) (*Machine, error) {
 
 	c := cpu.New(m, o.cfg)
 	c.SetReg(isa.SP, stackTop)
-	mach := &Machine{Mem: m, CPU: c, Image: img, MaxSteps: 1 << 40}
+	mach := &Machine{Mem: m, CPU: c, Image: img, MaxSteps: 1 << 40, cpus: []*cpu.CPU{c}}
 	c.OutB = func(port uint8, b byte) {
 		if port == ConsolePort {
 			mach.console.WriteByte(b)
 		}
 	}
 	return mach, nil
+}
+
+// CPUs returns every hardware thread of the machine, the primary CPU
+// first, then AddCPU threads in creation order. Telemetry readers
+// (core.AttachMetrics) iterate it at scrape time so late-added SMP
+// threads are aggregated without re-registration.
+func (m *Machine) CPUs() []*cpu.CPU { return m.cpus }
+
+// TotalStats sums the execution statistics of every hardware thread.
+func (m *Machine) TotalStats() cpu.Stats {
+	var total cpu.Stats
+	for _, c := range m.cpus {
+		total = total.Add(c.Stats())
+	}
+	return total
 }
 
 // Console returns everything the program has written to the console

@@ -34,6 +34,7 @@ func (m *Machine) AddCPU() (*cpu.CPU, error) {
 	} else {
 		c.SetTracer(nil)
 	}
+	m.cpus = append(m.cpus, c)
 	return c, nil
 }
 

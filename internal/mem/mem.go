@@ -106,6 +106,16 @@ type Stats struct {
 	Flushes      uint64 // icache flushes across all attached CPUs
 }
 
+// Sub returns the field-wise difference s − prev; the commit-latency
+// accounting in core uses it to attribute the protection flips and
+// flushes of one commit span.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		ProtectCalls: s.ProtectCalls - prev.ProtectCalls,
+		Flushes:      s.Flushes - prev.Flushes,
+	}
+}
+
 // Memory is a sparse paged address space.
 type Memory struct {
 	pages map[uint64]*page // keyed by page number (addr >> PageShift)

@@ -1,0 +1,420 @@
+// Package metrics is the simulator's unified telemetry registry: a
+// stdlib-only collection of counters, gauges and log₂-bucketed
+// histograms whose values live in the *simulated cycle* domain.
+//
+// The design splits responsibility the same way the paper splits
+// mechanism from policy:
+//
+//   - The hot layers (internal/cpu, internal/mem, internal/core) keep
+//     their plain struct counters — a field increment in the
+//     interpreter loop costs one add and the metrics package never
+//     appears on that path. The difftests assert simulated cycle
+//     counts are bit-identical with a registry attached or not.
+//   - The registry holds *readers*: closures registered with
+//     CounterFunc/GaugeFunc that sample those structs at export time.
+//     Registering the same name+labels again appends another reader
+//     and the exported value is the sum, which is how many simulated
+//     systems (mvbench builds hundreds) aggregate into one registry.
+//   - Distributions that only exist at event granularity — commit
+//     latency, patched-sites-per-commit — are owned by the registry
+//     as log₂ histograms: distributions, not means, are what reveal
+//     patching stalls (cf. the OSR transition-cost literature).
+//
+// Export surfaces are prom.go (Prometheus text exposition),
+// snapshot.go (JSON) and sampler.go (cycle-driven CSV/JSONL time
+// series). All exports use a stable ordering: families sorted by
+// name, series sorted by label signature.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// Type classifies a metric family.
+type Type uint8
+
+// Metric family types.
+const (
+	TypeCounter Type = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String names the type as used in Prometheus TYPE lines.
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families. All structural operations (creating
+// families and series) are guarded by a mutex; exports gather the
+// series under the lock and evaluate readers outside it, so a reader
+// may itself consult the registry (CounterTotal) without deadlocking.
+type Registry struct {
+	mu    sync.Mutex
+	clock func() uint64
+	fams  map[string]*family
+}
+
+type family struct {
+	name, help string
+	typ        Type
+	series     map[string]*series
+}
+
+type series struct {
+	labels []Label // sorted by key
+
+	mu     sync.Mutex
+	val    uint64          // Counter
+	gauge  float64         // Gauge
+	cfuncs []func() uint64 // CounterFunc readers (summed)
+	gfuncs []func() float64
+	hist   *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// SetClock installs the simulated-cycle clock stamped onto snapshots
+// and sampler rows. When several systems share one registry the last
+// attached clock wins.
+func (r *Registry) SetClock(f func() uint64) {
+	r.mu.Lock()
+	r.clock = f
+	r.mu.Unlock()
+}
+
+// Now returns the current simulated cycle (0 without a clock).
+func (r *Registry) Now() uint64 {
+	r.mu.Lock()
+	c := r.clock
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c()
+}
+
+// Has reports whether a family with the given name exists.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	_, ok := r.fams[name]
+	r.mu.Unlock()
+	return ok
+}
+
+// signature renders sorted labels into a stable series key; it is
+// also the exact label block used in the Prometheus exposition.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// getSeries returns (creating as needed) the series for name+labels,
+// panicking on a type mismatch — mixing types under one name is a
+// programming error the exposition format cannot represent.
+func (r *Registry) getSeries(name, help string, typ Type, labels []Label) *series {
+	labels = sortLabels(labels)
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: labels}
+		if typ == TypeHistogram {
+			s.hist = &Histogram{}
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ s *series }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.s.mu.Lock()
+	c.s.val += n
+	c.s.mu.Unlock()
+}
+
+// Value returns the stored count (excluding reader contributions).
+func (c *Counter) Value() uint64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.val
+}
+
+// Counter returns (creating as needed) a stored counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return &Counter{r.getSeries(name, help, TypeCounter, labels)}
+}
+
+// CounterFunc registers a reader for a counter series. Registering
+// the same name+labels again appends another reader; the exported
+// value is the sum of all readers plus any stored count.
+func (r *Registry) CounterFunc(name, help string, f func() uint64, labels ...Label) {
+	s := r.getSeries(name, help, TypeCounter, labels)
+	s.mu.Lock()
+	s.cfuncs = append(s.cfuncs, f)
+	s.mu.Unlock()
+}
+
+// Gauge is a settable float64 metric.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.gauge = v
+	g.s.mu.Unlock()
+}
+
+// Gauge returns (creating as needed) a stored gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{r.getSeries(name, help, TypeGauge, labels)}
+}
+
+// GaugeFunc registers a reader for a gauge series; multiple readers
+// on one series sum. Derived gauges (ratios, rates) should be
+// registered once per registry and read aggregated counters, so they
+// stay correct when many systems share the registry — see Has.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	s := r.getSeries(name, help, TypeGauge, labels)
+	s.mu.Lock()
+	s.gfuncs = append(s.gfuncs, f)
+	s.mu.Unlock()
+}
+
+// Histogram returns (creating as needed) a log₂-bucketed histogram
+// series. Calling again with the same name+labels returns the same
+// underlying histogram, which is how many systems aggregate.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.getSeries(name, help, TypeHistogram, labels).hist
+}
+
+// CounterTotal returns the summed value of every series (stored and
+// readers) of the named counter family, 0 if absent. Readers are
+// evaluated outside the registry lock.
+func (r *Registry) CounterTotal(name string) uint64 {
+	r.mu.Lock()
+	f, ok := r.fams[name]
+	if !ok || f.typ != TypeCounter {
+		r.mu.Unlock()
+		return 0
+	}
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	r.mu.Unlock()
+	var total uint64
+	for _, s := range ss {
+		total += s.counterValue()
+	}
+	return total
+}
+
+func (s *series) counterValue() uint64 {
+	s.mu.Lock()
+	v := s.val
+	fs := append([]func() uint64(nil), s.cfuncs...)
+	s.mu.Unlock()
+	for _, f := range fs {
+		v += f()
+	}
+	return v
+}
+
+func (s *series) gaugeValue() float64 {
+	s.mu.Lock()
+	v := s.gauge
+	fs := append([]func() float64(nil), s.gfuncs...)
+	s.mu.Unlock()
+	for _, f := range fs {
+		v += f()
+	}
+	return v
+}
+
+// --- log₂ histogram ---
+
+// histBuckets is bucket 0 (value 0), 64 power-of-two buckets
+// (value ≤ 2^k for k = 0..63) and one overflow bucket.
+const histBuckets = 66
+
+// Histogram counts observations into log₂ buckets: bucket 0 holds
+// zeros, bucket k (1 ≤ k ≤ 64) holds values in (2^(k-2), 2^(k-1)],
+// i.e. its upper bound is 2^(k-1), and the last bucket holds values
+// above 2^63. Observations are expected to be simulated-cycle
+// quantities; the exact-power upper bounds make bucket edges
+// self-describing in the exposition ("le=1", "le=2", "le=4", ...).
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	sum    uint64
+	total  uint64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	// Smallest k with v <= 2^k is bits.Len64(v-1); +1 skips the zero
+	// bucket. v > 2^63 lands in the overflow bucket (index 65).
+	return 1 + bits.Len64(v-1)
+}
+
+// BucketBound returns the inclusive upper bound of bucket i and
+// whether it is finite (the overflow bucket is not).
+func BucketBound(i int) (uint64, bool) {
+	switch {
+	case i <= 0:
+		return 0, true
+	case i <= 64:
+		return 1 << (i - 1), true
+	default:
+		return 0, false
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.mu.Lock()
+	h.counts[bucketIndex(v)]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, with
+// cumulative bucket counts as in the Prometheus exposition.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Bucket is one cumulative histogram bucket; Le is the inclusive
+// upper bound rendered as a decimal integer, or "+Inf".
+type Bucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot copies the histogram. Buckets run from le="0" up to the
+// highest non-empty finite bucket, then "+Inf", so empty tails do not
+// bloat the exposition while the ordering stays deterministic.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	counts := h.counts
+	out := HistSnapshot{Count: h.total, Sum: h.sum}
+	h.mu.Unlock()
+
+	last := 0
+	for i := 1; i < histBuckets-1; i++ {
+		if counts[i] != 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		bound, _ := BucketBound(i)
+		out.Buckets = append(out.Buckets, Bucket{Le: fmt.Sprintf("%d", bound), Count: cum})
+	}
+	cum = out.Count
+	out.Buckets = append(out.Buckets, Bucket{Le: "+Inf", Count: cum})
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the cumulative
+// buckets, returning the upper bound of the bucket containing it. The
+// second result is false for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) (uint64, bool) {
+	if s.Count == 0 {
+		return 0, false
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			if b.Le == "+Inf" {
+				break
+			}
+			var v uint64
+			fmt.Sscanf(b.Le, "%d", &v)
+			return v, true
+		}
+	}
+	return ^uint64(0), true
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the log₂ bucketing at the exact
+// edges: 0, 1, every 2^k and 2^k+1, and the maximum value.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},               // le=1
+		{2, 2},               // le=2
+		{3, 3},               // (2,4]
+		{4, 3},               // le=4
+		{5, 4},               // (4,8]
+		{1 << 10, 11},        // 2^10 -> le=2^10
+		{1<<10 + 1, 12},      // just past the edge -> next bucket
+		{1 << 62, 63},        // le=2^62
+		{1<<62 + 1, 64},      // (2^62, 2^63]
+		{1 << 63, 64},        // le=2^63, last finite bucket
+		{1<<63 + 1, 65},      // overflow
+		{math.MaxUint64, 65}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for k := 0; k <= 63; k++ {
+		v := uint64(1) << k
+		idx := bucketIndex(v)
+		bound, finite := BucketBound(idx)
+		if !finite || bound != v {
+			t.Errorf("2^%d: bucket %d has bound %d (finite=%v), want %d", k, idx, bound, finite, v)
+		}
+		if k < 63 {
+			if got := bucketIndex(v + 1); got != idx+1 {
+				t.Errorf("2^%d+1: bucket %d, want %d", k, got, idx+1)
+			}
+		}
+	}
+}
+
+func TestHistogramSnapshotCumulative(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []uint64{0, 1, 1, 3, 4, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 109 {
+		t.Fatalf("count=%d sum=%d, want 6/109", s.Count, s.Sum)
+	}
+	// Buckets: le=0:1, le=1:3, le=2:3, le=4:5, ..., le=128:6, +Inf:6.
+	want := map[string]uint64{"0": 1, "1": 3, "2": 3, "4": 5, "8": 5, "128": 6, "+Inf": 6}
+	got := make(map[string]uint64)
+	for _, b := range s.Buckets {
+		got[b.Le] = b.Count
+	}
+	for le, n := range want {
+		if got[le] != n {
+			t.Errorf("bucket le=%s: %d, want %d (buckets: %+v)", le, got[le], n, s.Buckets)
+		}
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Le != "+Inf" || last.Count != 6 {
+		t.Errorf("last bucket = %+v, want +Inf/6", last)
+	}
+	if prev := s.Buckets[len(s.Buckets)-2]; prev.Le != "128" {
+		t.Errorf("highest finite bucket le=%s, want 128 (trailing empties trimmed)", prev.Le)
+	}
+	if q, ok := s.Quantile(0.5); !ok || q != 1 {
+		t.Errorf("p50 = %d (%v), want 1", q, ok)
+	}
+	if q, ok := s.Quantile(0.99); !ok || q != 128 {
+		t.Errorf("p99 = %d (%v), want 128", q, ok)
+	}
+}
+
+func TestCounterFuncAggregation(t *testing.T) {
+	r := New()
+	var a, b uint64 = 10, 5
+	r.CounterFunc("mv_x_total", "x", func() uint64 { return a })
+	r.CounterFunc("mv_x_total", "x", func() uint64 { return b })
+	c := r.Counter("mv_x_total", "x")
+	c.Add(1)
+	if got := r.CounterTotal("mv_x_total"); got != 16 {
+		t.Fatalf("CounterTotal = %d, want 16", got)
+	}
+	snap := r.Snapshot()
+	f := snap.Find("mv_x_total")
+	if f == nil || len(f.Series) != 1 || *f.Series[0].Value != 16 {
+		t.Fatalf("snapshot: %+v", f)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("mv_y_total", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	r.Gauge("mv_y_total", "y")
+}
+
+func TestSamplerJSONLAndCSV(t *testing.T) {
+	r := New()
+	var cyc uint64
+	r.SetClock(func() uint64 { return cyc })
+	c := r.Counter("mv_ops_total", "ops")
+	h := r.Histogram("mv_lat_cycles", "lat")
+
+	var jsonl, csv strings.Builder
+	sj := NewSampler(r, &jsonl, 100, FormatJSONL)
+	sc := NewSampler(r, &csv, 100, FormatCSV)
+
+	cyc = 0
+	c.Add(1)
+	h.Observe(7)
+	sj.Tick(cyc)
+	sc.Tick(cyc)
+	sj.Tick(50) // below period: no row
+	sc.Tick(50)
+	cyc = 150
+	c.Add(2)
+	sj.Tick(cyc)
+	sc.Tick(cyc)
+
+	if sj.Rows() != 2 || sc.Rows() != 2 {
+		t.Fatalf("rows jsonl=%d csv=%d, want 2/2", sj.Rows(), sc.Rows())
+	}
+	jl := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(jl) != 2 || !strings.Contains(jl[1], `"cycle":150`) {
+		t.Fatalf("jsonl rows: %q", jl)
+	}
+	cl := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(cl) != 3 { // header + 2 rows
+		t.Fatalf("csv lines: %q", cl)
+	}
+	if !strings.HasPrefix(cl[0], "cycle,") || !strings.Contains(cl[0], "mv_lat_cycles_sum") {
+		t.Fatalf("csv header: %q", cl[0])
+	}
+	// Families sort by name: mv_lat_cycles (_count, _sum) then
+	// mv_ops_total.
+	if cl[2] != "150,1,7,3" {
+		t.Fatalf("csv second row: %q, want \"150,1,7,3\"", cl[2])
+	}
+	if sj.Err() != nil || sc.Err() != nil {
+		t.Fatalf("sampler errors: %v / %v", sj.Err(), sc.Err())
+	}
+}

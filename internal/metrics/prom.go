@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name with
+// HELP/TYPE lines, series sorted by label signature, histograms as
+// cumulative _bucket/_sum/_count series. Counter values are rendered
+// as decimal integers so the output is stable and diff-friendly;
+// gauges use the shortest float representation.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, fams, byFam := r.gather()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, g := range byFam[f] {
+			var err error
+			switch f.typ {
+			case TypeCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, g.sig, g.s.counterValue())
+			case TypeGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, g.sig,
+					strconv.FormatFloat(g.s.gaugeValue(), 'g', -1, 64))
+			case TypeHistogram:
+				err = writePromHist(w, f.name, g.sig, g.s.hist.Snapshot())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHist renders one histogram series. The le label is merged
+// into the series' own label block.
+func writePromHist(w io.Writer, name, sig string, h HistSnapshot) error {
+	for _, b := range h.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, mergeLabel(sig, "le", b.Le), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, sig, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sig, h.Count)
+	return err
+}
+
+// mergeLabel appends key="value" to an existing {...} label block
+// (or creates one).
+func mergeLabel(sig, key, value string) string {
+	pair := key + `="` + escapeLabel(value) + `"`
+	if sig == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(sig, "}") + "," + pair + "}"
+}

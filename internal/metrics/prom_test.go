@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full exposition byte-for-byte:
+// family ordering (sorted by name), HELP/TYPE lines, label
+// signatures (keys sorted), histogram bucket/sum/count rendering and
+// label escaping. A printf slip in prom.go fails here, not in
+// production scrapes.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("mv_commits_total", "Total commit operations.").Add(3)
+	r.Counter("mv_variant_residency_cycles", "Cycles spent bound to each variant.",
+		L("function", "process"), L("variant", "process.variant1")).Add(1200)
+	r.Counter("mv_variant_residency_cycles", "Cycles spent bound to each variant.",
+		L("function", "process"), L("variant", "generic")).Add(34)
+	r.Gauge("mv_decode_hit_ratio", "Decode-cache hit ratio.").Set(0.75)
+	h := r.Histogram("mv_commit_latency_cycles", "Modeled commit latency.")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(900)
+
+	const want = `# HELP mv_commit_latency_cycles Modeled commit latency.
+# TYPE mv_commit_latency_cycles histogram
+mv_commit_latency_cycles_bucket{le="0"} 1
+mv_commit_latency_cycles_bucket{le="1"} 2
+mv_commit_latency_cycles_bucket{le="2"} 2
+mv_commit_latency_cycles_bucket{le="4"} 3
+mv_commit_latency_cycles_bucket{le="8"} 3
+mv_commit_latency_cycles_bucket{le="16"} 3
+mv_commit_latency_cycles_bucket{le="32"} 3
+mv_commit_latency_cycles_bucket{le="64"} 3
+mv_commit_latency_cycles_bucket{le="128"} 3
+mv_commit_latency_cycles_bucket{le="256"} 3
+mv_commit_latency_cycles_bucket{le="512"} 3
+mv_commit_latency_cycles_bucket{le="1024"} 4
+mv_commit_latency_cycles_bucket{le="+Inf"} 4
+mv_commit_latency_cycles_sum 904
+mv_commit_latency_cycles_count 4
+# HELP mv_commits_total Total commit operations.
+# TYPE mv_commits_total counter
+mv_commits_total 3
+# HELP mv_decode_hit_ratio Decode-cache hit ratio.
+# TYPE mv_decode_hit_ratio gauge
+mv_decode_hit_ratio 0.75
+# HELP mv_variant_residency_cycles Cycles spent bound to each variant.
+# TYPE mv_variant_residency_cycles counter
+mv_variant_residency_cycles{function="process",variant="generic"} 34
+mv_variant_residency_cycles{function="process",variant="process.variant1"} 1200
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Exposition must be stable across repeated scrapes.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != sb.String() {
+		t.Error("exposition not stable across scrapes")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("mv_esc_total", "", L("name", `a"b\c`)).Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `mv_esc_total{name="a\"b\\c"} 1`; !strings.Contains(sb.String(), want) {
+		t.Errorf("escaping: got %q, want to contain %q", sb.String(), want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.SetClock(func() uint64 { return 42 })
+	r.Counter("mv_ops_total", "ops").Add(9)
+	r.Histogram("mv_lat_cycles", "lat").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cycle != 42 {
+		t.Errorf("cycle = %d, want 42", snap.Cycle)
+	}
+	ops := snap.Find("mv_ops_total")
+	if ops == nil || len(ops.Series) != 1 || *ops.Series[0].Value != 9 {
+		t.Fatalf("mv_ops_total: %+v", ops)
+	}
+	lat := snap.Find("mv_lat_cycles")
+	if lat == nil || lat.Series[0].Hist == nil || lat.Series[0].Hist.Count != 1 {
+		t.Fatalf("mv_lat_cycles: %+v", lat)
+	}
+}

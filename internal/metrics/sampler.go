@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SampleFormat selects the sampler's row encoding.
+type SampleFormat uint8
+
+// Sampler row encodings.
+const (
+	// FormatJSONL writes one full Snapshot per line — the format
+	// mvtop replays. Series that appear later (e.g. residency labels
+	// created by the first commit) show up in later rows.
+	FormatJSONL SampleFormat = iota
+	// FormatCSV writes a flat numeric table for plotting: a header
+	// row of cycle plus one column per series (histograms contribute
+	// _count and _sum columns). The column set is fixed by the first
+	// row; series created afterwards are not added (noted on stderr
+	// by callers that care), keeping every row parseable.
+	FormatCSV
+)
+
+// ParseSampleFormat parses "jsonl" or "csv".
+func ParseSampleFormat(s string) (SampleFormat, error) {
+	switch s {
+	case "jsonl":
+		return FormatJSONL, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return 0, fmt.Errorf("metrics: unknown sample format %q (want jsonl or csv)", s)
+}
+
+// Sampler appends periodic time-series rows of a registry to a
+// writer, driven by the simulated-cycle clock: Tick(now) is cheap
+// (one compare) until the period elapses, then snapshots the registry
+// and writes one row. It makes experiment *trajectories* — how
+// flush rates or residency evolve over a run — plottable, where the
+// end-of-run snapshot only gives totals.
+type Sampler struct {
+	reg    *Registry
+	w      io.Writer
+	every  uint64
+	next   uint64
+	format SampleFormat
+
+	header []string // CSV column keys, fixed at first row
+	err    error
+	rows   int
+}
+
+// NewSampler returns a sampler emitting a row each time the clock
+// advances by every cycles (minimum 1). The first row is written on
+// the first Tick.
+func NewSampler(reg *Registry, w io.Writer, every uint64, format SampleFormat) *Sampler {
+	if every == 0 {
+		every = 1
+	}
+	return &Sampler{reg: reg, w: w, every: every, format: format}
+}
+
+// Tick emits a row if now has reached the next sampling point.
+func (s *Sampler) Tick(now uint64) {
+	if now < s.next || s.err != nil {
+		return
+	}
+	s.next = now + s.every
+	s.Sample()
+}
+
+// Rows returns the number of rows written so far.
+func (s *Sampler) Rows() int { return s.rows }
+
+// Err returns the first write error, if any.
+func (s *Sampler) Err() error { return s.err }
+
+// Sample writes one row unconditionally (callers use it for a final
+// end-of-run row so short runs still produce data).
+func (s *Sampler) Sample() {
+	if s.err != nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	switch s.format {
+	case FormatJSONL:
+		s.err = writeJSONLRow(s.w, snap)
+	case FormatCSV:
+		s.err = s.writeCSVRow(snap)
+	}
+	if s.err == nil {
+		s.rows++
+	}
+}
+
+func writeJSONLRow(w io.Writer, snap Snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// flatten renders the snapshot as ordered (key, value) pairs:
+// "name{labels}" for counters and gauges, "_count"/"_sum" suffixed
+// keys for histograms.
+func flatten(snap Snapshot) ([]string, map[string]float64) {
+	var keys []string
+	vals := make(map[string]float64)
+	add := func(k string, v float64) {
+		keys = append(keys, k)
+		vals[k] = v
+	}
+	for _, f := range snap.Families {
+		for _, sv := range f.Series {
+			key := f.Name + labelSig(sv.Labels)
+			switch {
+			case sv.Value != nil:
+				add(key, *sv.Value)
+			case sv.Hist != nil:
+				add(key+"_count", float64(sv.Hist.Count))
+				add(key+"_sum", float64(sv.Hist.Sum))
+			}
+		}
+	}
+	return keys, vals
+}
+
+func labelSig(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, 0, len(labels))
+	for k, v := range labels {
+		ls = append(ls, Label{Key: k, Value: v})
+	}
+	return signature(sortLabels(ls))
+}
+
+func (s *Sampler) writeCSVRow(snap Snapshot) error {
+	keys, vals := flatten(snap)
+	if s.header == nil {
+		s.header = keys
+		cols := append([]string{"cycle"}, keys...)
+		quoted := make([]string, len(cols))
+		for i, c := range cols {
+			quoted[i] = csvQuote(c)
+		}
+		if _, err := fmt.Fprintln(s.w, strings.Join(quoted, ",")); err != nil {
+			return err
+		}
+	}
+	row := make([]string, 0, len(s.header)+1)
+	row = append(row, strconv.FormatUint(snap.Cycle, 10))
+	for _, k := range s.header {
+		row = append(row, strconv.FormatFloat(vals[k], 'g', -1, 64))
+	}
+	_, err := fmt.Fprintln(s.w, strings.Join(row, ","))
+	return err
+}
+
+// csvQuote quotes a header cell (metric signatures contain commas
+// and quotes).
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time JSON-marshalable copy of a registry,
+// stamped with the simulated cycle of the registry clock. It is the
+// payload of mvrun's /metrics.json endpoint, of the JSONL sampler
+// rows, and of the metrics section in mvbench -json output.
+type Snapshot struct {
+	Cycle    uint64         `json:"cycle"`
+	Families []FamilyValues `json:"metrics"`
+}
+
+// FamilyValues is one exported metric family.
+type FamilyValues struct {
+	Name   string        `json:"name"`
+	Help   string        `json:"help,omitempty"`
+	Type   string        `json:"type"`
+	Series []SeriesValue `json:"series"`
+}
+
+// SeriesValue is one exported series. Exactly one of Value (counters
+// and gauges) or Hist is set.
+type SeriesValue struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *HistSnapshot     `json:"histogram,omitempty"`
+
+	sig string // export ordering key
+}
+
+// gathered is one series plus everything needed to evaluate it
+// outside the registry lock.
+type gathered struct {
+	fam *family
+	sig string
+	s   *series
+}
+
+func (r *Registry) gather() (func() uint64, []*family, map[*family][]gathered) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clock := r.clock
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	byFam := make(map[*family][]gathered, len(fams))
+	for _, f := range fams {
+		gs := make([]gathered, 0, len(f.series))
+		for sig, s := range f.series {
+			gs = append(gs, gathered{fam: f, sig: sig, s: s})
+		}
+		sort.Slice(gs, func(i, j int) bool { return gs[i].sig < gs[j].sig })
+		byFam[f] = gs
+	}
+	return clock, fams, byFam
+}
+
+// Snapshot evaluates every series (readers run outside the registry
+// lock) into a stable-ordered Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	clock, fams, byFam := r.gather()
+	var snap Snapshot
+	if clock != nil {
+		snap.Cycle = clock()
+	}
+	for _, f := range fams {
+		fv := FamilyValues{Name: f.name, Help: f.help, Type: f.typ.String()}
+		for _, g := range byFam[f] {
+			sv := SeriesValue{sig: g.sig}
+			if len(g.s.labels) > 0 {
+				sv.Labels = make(map[string]string, len(g.s.labels))
+				for _, l := range g.s.labels {
+					sv.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.typ {
+			case TypeCounter:
+				v := float64(g.s.counterValue())
+				sv.Value = &v
+			case TypeGauge:
+				v := g.s.gaugeValue()
+				sv.Value = &v
+			case TypeHistogram:
+				h := g.s.hist.Snapshot()
+				sv.Hist = &h
+			}
+			fv.Series = append(fv.Series, sv)
+		}
+		snap.Families = append(snap.Families, fv)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Find returns the family with the given name, nil if absent.
+func (s *Snapshot) Find(name string) *FamilyValues {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}

@@ -211,6 +211,24 @@ func (c *Collector) Dropped() uint64 {
 	return n
 }
 
+// StreamStat summarizes one stream for end-of-run reporting.
+type StreamStat struct {
+	Label   string
+	Events  int
+	Dropped uint64
+}
+
+// StreamStats returns per-stream event and drop counts in stream
+// creation order (the primary CPU's stream first), so tools can tell
+// the user which CPU's ring buffer overflowed.
+func (c *Collector) StreamStats() []StreamStat {
+	out := make([]StreamStat, 0, len(c.streams))
+	for _, s := range c.streams {
+		out = append(out, StreamStat{Label: s.label, Events: len(s.Events()), Dropped: s.dropped})
+	}
+	return out
+}
+
 // Profiling reports whether cycle-attribution profiling is enabled.
 func (c *Collector) Profiling() bool { return c.prof != nil }
 
