@@ -72,6 +72,10 @@ var recordedCounters = []string{
 	"mv_commits_total",
 	"mv_sites_patched_total",
 	"mv_sites_inlined_total",
+	"mv_commit_aborts_total",
+	"mv_commit_retries_total",
+	"mv_sites_rolled_back_total",
+	"mv_flush_retries_total",
 }
 
 // record notes a measurement for -json and returns it unchanged, so

@@ -2,7 +2,7 @@
 // optionally commits the multiverse configuration, calls a function,
 // and reports the result, the console output and the cycle count.
 //
-//	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-wx] \
+//	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-audit] [-wx] \
 //	      [-trace out.json] [-profile out.folded] \
 //	      [-metrics-addr :9090] [-sample out.jsonl] [-repeat n] image
 package main
@@ -37,6 +37,7 @@ var (
 	entry      = flag.String("entry", "main", "function to call")
 	args       = flag.String("args", "", "comma-separated integer arguments")
 	commit     = flag.Bool("commit", false, "run multiverse_commit() before calling")
+	audit      = flag.Bool("audit", false, "run the text-image auditor before and after calling; fail on any violation")
 	wx         = flag.Bool("wx", false, "enforce the strict W^X memory policy")
 	itrace     = flag.Bool("itrace", false, "print every executed instruction")
 	state      = flag.Bool("state", false, "print the multiverse binding state before running")
@@ -167,6 +168,12 @@ func run(path string) error {
 		}
 		fmt.Printf("commit: %d bound, %d generic\n", res.Committed, res.Generic)
 	}
+	if *audit {
+		if err := rt.Audit(); err != nil {
+			return fmt.Errorf("audit (pre-run): %w", err)
+		}
+		fmt.Println("audit: ok")
+	}
 
 	// The per-instruction hook slot is shared: instruction tracing and
 	// the metric sampler both ride it, so compose whatever is enabled.
@@ -237,6 +244,11 @@ func run(path string) error {
 		fmt.Printf("repeat: %d calls\n", *repeat)
 	}
 	fmt.Printf("cycles: %d, instructions: %d\n", m.CPU.Cycles()-start, m.CPU.Stats().Instructions)
+	if *audit {
+		if err := rt.Audit(); err != nil {
+			return fmt.Errorf("audit (post-run): %w", err)
+		}
+	}
 	if samp != nil {
 		samp.Sample() // final row, so short runs always record something
 		if err := samp.Err(); err != nil {

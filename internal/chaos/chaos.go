@@ -1,0 +1,567 @@
+// Package chaos drives seeded chaos runs against the multiverse
+// runtime: random sequences of commits, reverts and switch flips on a
+// real workload (the paper's E1 spinlock kernel or E4 mini-musl),
+// with a deterministic fault plan injected into the memory and CPU
+// layers, asserting after every operation that the crash-consistency
+// guarantees hold:
+//
+//   - an operation either completes or fails with ErrCommitAborted
+//     and a text image byte-identical to its pre-operation snapshot,
+//   - core.Runtime.Audit passes at every patchable point,
+//   - the workload's semantics survive: E1's preempt_count and
+//     lock_word return to zero around every benchmark run, E4's
+//     random()/fputc() match a host-side model of musl's LCG and
+//     stream position,
+//   - after the fault plan is exhausted, a final revert restores the
+//     boot-time text image bit for bit.
+//
+// Runs are deterministic per (seed, Config): the fault plan, the
+// operation sequence and the SMP interleaving all derive from the one
+// seed, so a failing seed printed by cmd/mvstress reproduces exactly.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/faultinject"
+	"repro/internal/kernelsim"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/muslsim"
+)
+
+// Config shapes one chaos run.
+type Config struct {
+	// Workload is "e1" (spinlock kernel, lock elision via multiverse)
+	// or "e4" (mini-musl, thread-count specialized locks).
+	Workload string
+	// Steps is the number of runtime operations to perform (default 40).
+	Steps int
+	// Faults is the number of armed fault points (default 6).
+	Faults int
+	// SMP adds a second hardware thread that executes workload code
+	// between runtime operations, exercising cross-CPU shootdowns.
+	SMP bool
+}
+
+// Result summarizes one run.
+type Result struct {
+	Seed        int64
+	Ops         int    // runtime operations performed
+	Aborts      int    // operations that rolled back (ErrCommitAborted)
+	Retries     int    // transparent patch retries inside commits
+	FlushFixes  int    // dropped shootdowns caught and re-broadcast
+	FaultsFired uint64 // fault points that actually fired
+	Checks      int    // semantic model checks that passed
+}
+
+// maxCallSteps bounds any single guest call during chaos runs.
+const maxCallSteps = 5_000_000
+
+// Run executes one seeded chaos run and returns its summary, or an
+// error describing the first violated invariant. The Result counters
+// are filled in even for failed runs, so failure reports carry the
+// fault and retry activity up to the violation.
+func Run(seed int64, cfg Config) (res Result, err error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 40
+	}
+	if cfg.Faults <= 0 {
+		cfg.Faults = 6
+	}
+	res = Result{Seed: seed}
+
+	w, err := buildWorkload(cfg.Workload)
+	if err != nil {
+		return res, err
+	}
+	sys := w.system()
+	m, rt := sys.Machine, sys.RT
+	m.MaxSteps = maxCallSteps
+
+	pristine, err := snapshotExec(m)
+	if err != nil {
+		return res, err
+	}
+
+	ncpu := 1
+	var second *cpu.CPU
+	secondaryBusy := false // StartCall issued and not yet drained to halt
+	if cfg.SMP {
+		ncpu = 2
+		second, err = m.AddCPU()
+		if err != nil {
+			return res, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	plan := faultinject.New(seed, faultinject.Opts{
+		Points:   cfg.Faults,
+		CPUs:     ncpu,
+		MaxOp:    uint64(4 * cfg.Steps),
+		MaxCycle: 2_000_000,
+	})
+	plan.Attach(m)
+	defer faultinject.Detach(m)
+	defer func() {
+		res.Retries = rt.Stats.CommitRetries
+		res.FlushFixes = rt.Stats.FlushRetries
+		res.FaultsFired = plan.Stats.Total()
+	}()
+
+	for op := 0; op < cfg.Steps; op++ {
+		// Quiesce: runtime operations only happen at patchable points —
+		// the secondary thread must be halted, and no PC may sit inside
+		// a patch window.
+		if secondaryBusy && !second.Halted() {
+			if err := stepToHalt(second, maxCallSteps); err != nil {
+				return res, fmt.Errorf("seed %d op %d: quiescing secondary: %w", seed, op, err)
+			}
+		}
+		secondaryBusy = false
+		if err := assertOutsidePatchRanges(m, rt); err != nil {
+			return res, fmt.Errorf("seed %d op %d: %w", seed, op, err)
+		}
+
+		pre, err := snapshotExec(m)
+		if err != nil {
+			return res, err
+		}
+		abortsBefore := rt.Stats.CommitAborts
+
+		atomic, opErr := w.mutate(rng, rt)
+		res.Ops++
+		if opErr != nil {
+			if !errors.Is(opErr, core.ErrCommitAborted) {
+				return res, fmt.Errorf("seed %d op %d: operation failed without aborting cleanly: %w", seed, op, opErr)
+			}
+			res.Aborts++
+			// Single-transaction ops promise all-or-nothing; Revert
+			// promises only per-function atomicity plus a green audit,
+			// which the Audit below enforces.
+			if atomic {
+				if err := assertExecEqual(m, pre); err != nil {
+					return res, fmt.Errorf("seed %d op %d: aborted operation left a modified image: %w", seed, op, err)
+				}
+			} else {
+				// A partial revert is per-function consistent but not
+				// cross-function consistent: spin_lock may stay bound to
+				// the real SMP variant while spin_unlock already reverted
+				// to the elided one, which leaks the lock word on the
+				// next acquire/release pair. Before running workload code
+				// the harness does what an operator would: retry the
+				// revert until it goes through (the fault plan is finite,
+				// so it must).
+				if err := revertUntilClean(rt); err != nil {
+					return res, fmt.Errorf("seed %d op %d: recovering from partial revert: %w", seed, op, err)
+				}
+			}
+		} else if rt.Stats.CommitAborts != abortsBefore {
+			// Revert aggregates per-function transactions; a partial
+			// failure surfaces as an error, so a silent abort is a bug.
+			return res, fmt.Errorf("seed %d op %d: abort recorded but no error returned", seed, op)
+		}
+		if err := rt.Audit(); err != nil {
+			return res, fmt.Errorf("seed %d op %d: audit: %w", seed, op, err)
+		}
+
+		// Interleave: restart the secondary on workload code and let it
+		// run a random partial quantum against the (possibly re-bound)
+		// text.
+		if second != nil && rng.Intn(2) == 0 {
+			if err := w.startSecondary(m, second, rng); err != nil {
+				return res, fmt.Errorf("seed %d op %d: starting secondary: %w", seed, op, err)
+			}
+			secondaryBusy = true
+			if err := stepSome(second, rng.Intn(400)); err != nil {
+				return res, fmt.Errorf("seed %d op %d: stepping secondary: %w", seed, op, err)
+			}
+		}
+
+		// Periodic semantic checks on the primary CPU. The secondary
+		// must be drained first: on E1 it may be parked mid-critical-
+		// section holding lock_word, and the primary's run-to-completion
+		// bench would spin forever against a CPU nobody is stepping.
+		if op%5 == 4 {
+			if secondaryBusy && !second.Halted() {
+				if err := stepToHalt(second, maxCallSteps); err != nil {
+					return res, fmt.Errorf("seed %d op %d: draining secondary before check: %w", seed, op, err)
+				}
+			}
+			secondaryBusy = false
+			if err := w.check(m, rng); err != nil {
+				return res, fmt.Errorf("seed %d op %d: semantic check: %w", seed, op, err)
+			}
+			res.Checks++
+		}
+	}
+
+	// Drain the secondary, exhaust nothing further, and require the
+	// final revert to restore the boot image bit for bit.
+	if secondaryBusy && !second.Halted() {
+		if err := stepToHalt(second, maxCallSteps); err != nil {
+			return res, fmt.Errorf("seed %d: draining secondary: %w", seed, err)
+		}
+	}
+	faultinject.Detach(m)
+	if err := rt.Revert(); err != nil {
+		return res, fmt.Errorf("seed %d: final revert: %w", seed, err)
+	}
+	if err := rt.Audit(); err != nil {
+		return res, fmt.Errorf("seed %d: final audit: %w", seed, err)
+	}
+	if err := assertExecEqual(m, pristine); err != nil {
+		return res, fmt.Errorf("seed %d: final revert is not byte-identical to the boot image: %w", seed, err)
+	}
+	if err := w.check(m, rng); err != nil {
+		return res, fmt.Errorf("seed %d: final semantic check: %w", seed, err)
+	}
+	res.Checks++
+
+	return res, nil
+}
+
+// workload abstracts the two chaos targets.
+type workload interface {
+	system() *core.System
+	// mutate performs one random runtime operation (switch flip +
+	// commit, revert, refs-scoped commit, ...). atomic reports whether
+	// the operation ran as a single transaction, i.e. whether an abort
+	// guarantees a byte-identical image (Revert deliberately keeps
+	// per-function progress past failures, so it is not whole-image
+	// atomic).
+	mutate(rng *rand.Rand, rt *core.Runtime) (atomic bool, err error)
+	// startSecondary points an idle secondary CPU at workload code.
+	startSecondary(m *machine.Machine, c *cpu.CPU, rng *rand.Rand) error
+	// check runs the workload on the primary CPU and compares the
+	// observable state against a host-side model.
+	check(m *machine.Machine, rng *rand.Rand) error
+}
+
+func buildWorkload(name string) (workload, error) {
+	switch name {
+	case "", "e1":
+		ks, err := kernelsim.BuildSpin(kernelsim.SpinMultiverse)
+		if err != nil {
+			return nil, err
+		}
+		return &e1Workload{ks: ks}, nil
+	case "e4":
+		ms, err := muslsim.BuildMusl(muslsim.Multiverse)
+		if err != nil {
+			return nil, err
+		}
+		return &e4Workload{ms: ms}, nil
+	}
+	return nil, fmt.Errorf("chaos: unknown workload %q (want e1 or e4)", name)
+}
+
+// --- E1: spinlock kernel -------------------------------------------------
+
+type e1Workload struct {
+	ks *kernelsim.SpinSystem
+}
+
+func (w *e1Workload) system() *core.System { return w.ks.System() }
+
+func (w *e1Workload) mutate(rng *rand.Rand, rt *core.Runtime) (bool, error) {
+	sys := w.ks.System()
+	switch rng.Intn(4) {
+	case 0: // flip the switch and commit everything
+		if err := sys.SetSwitch("config_smp", int64(rng.Intn(2))); err != nil {
+			return true, err
+		}
+		_, err := rt.Commit()
+		return true, err
+	case 1: // revert everything (per-function transactions)
+		return false, rt.Revert()
+	case 2: // refs-scoped commit on the switch
+		addr, ok := rt.VarByName("config_smp")
+		if !ok {
+			return true, fmt.Errorf("chaos: no config_smp switch")
+		}
+		if err := sys.SetSwitch("config_smp", int64(rng.Intn(2))); err != nil {
+			return true, err
+		}
+		_, err := rt.CommitRefs(addr)
+		return true, err
+	default: // commit without changing anything (idempotence)
+		_, err := rt.Commit()
+		return true, err
+	}
+}
+
+func (w *e1Workload) startSecondary(m *machine.Machine, c *cpu.CPU, rng *rand.Rand) error {
+	return m.StartCall(c, "bench_spin", uint64(10+rng.Intn(40)))
+}
+
+// check runs the lock/unlock loop to completion and asserts the
+// always-true invariants of every consistent binding: the preemption
+// counter balances back to zero and the lock word ends released.
+func (w *e1Workload) check(m *machine.Machine, rng *rand.Rand) error {
+	if _, err := callResumed(m, "bench_spin", uint64(20+rng.Intn(30))); err != nil {
+		return err
+	}
+	lw, err := w.ks.LockWord()
+	if err != nil {
+		return err
+	}
+	if lw != 0 {
+		return fmt.Errorf("chaos: lock_word = %d after bench_spin, want 0 (leaked lock)", lw)
+	}
+	pc, err := w.ks.PreemptCount()
+	if err != nil {
+		return err
+	}
+	if pc != 0 {
+		return fmt.Errorf("chaos: preempt_count = %d after bench_spin, want 0", pc)
+	}
+	return nil
+}
+
+// --- E4: mini-musl --------------------------------------------------------
+
+type e4Workload struct {
+	ms *muslsim.Musl
+
+	randState uint64 // host-side model of musl's LCG
+	fpos      uint64 // host-side model of the stdio stream position
+	flushed   uint64
+}
+
+func (w *e4Workload) system() *core.System { return w.ms.System() }
+
+func (w *e4Workload) mutate(rng *rand.Rand, rt *core.Runtime) (bool, error) {
+	sys := w.ms.System()
+	switch rng.Intn(4) {
+	case 0:
+		if err := sys.SetSwitch("threads_minus_1", int64(rng.Intn(2))); err != nil {
+			return true, err
+		}
+		_, err := rt.Commit()
+		return true, err
+	case 1:
+		return false, rt.Revert()
+	case 2:
+		addr, ok := rt.VarByName("threads_minus_1")
+		if !ok {
+			return true, fmt.Errorf("chaos: no threads_minus_1 switch")
+		}
+		if err := sys.SetSwitch("threads_minus_1", int64(rng.Intn(2))); err != nil {
+			return true, err
+		}
+		_, err := rt.CommitRefs(addr)
+		return true, err
+	default:
+		_, err := rt.Commit()
+		return true, err
+	}
+}
+
+// startSecondary runs the lock-free baseline loop: the chaos driver
+// re-binds lock elision between operations, and only the primary's
+// run-to-completion calls are guaranteed to see one consistent
+// binding per critical section.
+func (w *e4Workload) startSecondary(m *machine.Machine, c *cpu.CPU, rng *rand.Rand) error {
+	return m.StartCall(c, "bench_baseline", uint64(50+rng.Intn(200)))
+}
+
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// check replays musl semantics against host-side models: the LCG
+// behind random_() and the buffered stream position behind fputc_().
+func (w *e4Workload) check(m *machine.Machine, rng *rand.Rand) error {
+	// Reseed and advance the LCG a known number of steps.
+	seed := rng.Uint64()
+	if _, err := callResumed(m, "srandom_", seed); err != nil {
+		return err
+	}
+	w.randState = seed
+	n := uint64(10 + rng.Intn(30))
+	if _, err := callResumed(m, "bench_random", n); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		w.randState = w.randState*lcgMul + lcgAdd
+	}
+	got, err := m.ReadGlobal("rand_state", 8)
+	if err != nil {
+		return err
+	}
+	if got != w.randState {
+		return fmt.Errorf("chaos: rand_state = %#x, model says %#x after %d draws", got, w.randState, n)
+	}
+	// One direct draw returns the model's next output.
+	w.randState = w.randState*lcgMul + lcgAdd
+	r, err := callResumed(m, "random_")
+	if err != nil {
+		return err
+	}
+	if want := w.randState >> 33; r != want {
+		return fmt.Errorf("chaos: random_() = %d, model says %d", r, want)
+	}
+
+	// Stream position model for the buffered fputc.
+	k := uint64(100 + rng.Intn(400))
+	if _, err := callResumed(m, "bench_fputc", k); err != nil {
+		return err
+	}
+	for i := uint64(0); i < k; i++ {
+		w.fpos++
+		if w.fpos == 4096 {
+			w.flushed += w.fpos
+			w.fpos = 0
+		}
+	}
+	fpos, err := m.ReadGlobal("fpos", 8)
+	if err != nil {
+		return err
+	}
+	flushed, err := m.ReadGlobal("flushed_bytes", 8)
+	if err != nil {
+		return err
+	}
+	if fpos != w.fpos || flushed != w.flushed {
+		return fmt.Errorf("chaos: stream state fpos=%d flushed=%d, model says fpos=%d flushed=%d",
+			fpos, flushed, w.fpos, w.flushed)
+	}
+
+	// Exercise malloc/free and require the lock released afterwards.
+	if _, err := callResumed(m, "bench_malloc", 20, 16); err != nil {
+		return err
+	}
+	if lock, err := m.ReadGlobal("malloc_lock", 8); err != nil {
+		return err
+	} else if lock != 0 {
+		return fmt.Errorf("chaos: malloc_lock = %d after bench_malloc, want 0 (leaked lock)", lock)
+	}
+	return nil
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// callResumed invokes a guest function on the primary CPU, transparently
+// re-stepping across injected spurious fetch faults (the PC holds, so
+// resuming the run retries the same fetch).
+func callResumed(m *machine.Machine, name string, args ...uint64) (uint64, error) {
+	c := m.CPU
+	if err := m.StartCall(c, name, args...); err != nil {
+		return 0, err
+	}
+	for {
+		if _, err := c.Run(m.MaxSteps); err != nil {
+			if isInjectedFetchFault(err) {
+				continue
+			}
+			return 0, err
+		}
+		return c.Reg(0), nil
+	}
+}
+
+// stepToHalt drives a CPU until it halts, riding out injected fetch
+// faults.
+func stepToHalt(c *cpu.CPU, limit int) error {
+	for i := 0; i < limit && !c.Halted(); i++ {
+		if err := c.Step(); err != nil && !isInjectedFetchFault(err) {
+			return err
+		}
+	}
+	if !c.Halted() {
+		return fmt.Errorf("chaos: CPU did not halt within %d steps", limit)
+	}
+	return nil
+}
+
+// stepSome executes up to n instructions (stopping early at halt).
+func stepSome(c *cpu.CPU, n int) error {
+	for i := 0; i < n && !c.Halted(); i++ {
+		if err := c.Step(); err != nil && !isInjectedFetchFault(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// revertUntilClean retries Revert until it completes without error.
+// Each failed attempt consumes at least one armed fault point and
+// plans are finite, so the loop terminates; the bound is a backstop
+// against runtime regressions that fail persistently without faults.
+func revertUntilClean(rt *core.Runtime) error {
+	var err error
+	for i := 0; i < 64; i++ {
+		if err = rt.Revert(); err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrCommitAborted) {
+			return err
+		}
+	}
+	return fmt.Errorf("chaos: revert still failing after 64 attempts: %w", err)
+}
+
+func isInjectedFetchFault(err error) bool {
+	var inj *faultinject.Fault
+	return errors.As(err, &inj) && inj.Point.Kind == faultinject.KindFetchFault
+}
+
+// assertOutsidePatchRanges checks no running CPU's PC sits inside a
+// text range the runtime may rewrite — the paper's interrupt-window
+// hazard. At chaos op boundaries every CPU is quiesced, so a
+// violation means the harness (not the runtime) is broken.
+func assertOutsidePatchRanges(m *machine.Machine, rt *core.Runtime) error {
+	ranges := rt.PatchRanges()
+	for i, c := range m.CPUs() {
+		if c.Halted() && i > 0 {
+			continue
+		}
+		pc := c.PC()
+		for _, r := range ranges {
+			if pc >= r.Addr && pc < r.Addr+r.Len {
+				return fmt.Errorf("chaos: cpu %d PC %#x inside patch window [%#x,%#x)", i, pc, r.Addr, r.Addr+r.Len)
+			}
+		}
+	}
+	return nil
+}
+
+// snapshotExec copies every executable mapping.
+func snapshotExec(m *machine.Machine) (map[uint64][]byte, error) {
+	snap := make(map[uint64][]byte)
+	for _, r := range m.Mem.Regions() {
+		if r.Prot&mem.Exec == 0 {
+			continue
+		}
+		buf := make([]byte, r.Len)
+		if err := m.Mem.Read(r.Addr, buf); err != nil {
+			return nil, err
+		}
+		snap[r.Addr] = buf
+	}
+	return snap, nil
+}
+
+// assertExecEqual compares the current executable mappings against a
+// snapshot, reporting the first differing byte.
+func assertExecEqual(m *machine.Machine, snap map[uint64][]byte) error {
+	for addr, want := range snap {
+		got := make([]byte, len(want))
+		if err := m.Mem.Read(addr, got); err != nil {
+			return err
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("text byte at %#x: got %#x, want %#x", addr+uint64(i), got[i], want[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// seedCount returns how many seeds to sweep per configuration; the
+// full sweep in long mode, a smoke batch under -short.
+func seedCount(t *testing.T) int64 {
+	if testing.Short() {
+		return 4
+	}
+	return 24
+}
+
+func sweep(t *testing.T, cfg Config) {
+	t.Helper()
+	n := seedCount(t)
+	var fired uint64
+	var aborts int
+	for seed := int64(1); seed <= n; seed++ {
+		res, err := Run(seed, cfg)
+		if err != nil {
+			t.Fatalf("chaos run failed: %v", err)
+		}
+		fired += res.FaultsFired
+		aborts += res.Aborts
+		if res.Ops != cfg.Steps && cfg.Steps != 0 {
+			t.Fatalf("seed %d: performed %d ops, want %d", seed, res.Ops, cfg.Steps)
+		}
+	}
+	// The sweep must actually exercise the fault machinery: across all
+	// seeds at least some points must fire. (Individual seeds may arm
+	// points the run never reaches.)
+	if fired == 0 {
+		t.Fatalf("no fault points fired across %d seeds — injector not exercised", n)
+	}
+	t.Logf("%d seeds: %d faults fired, %d clean aborts", n, fired, aborts)
+}
+
+func TestChaosE1(t *testing.T) {
+	sweep(t, Config{Workload: "e1", Steps: 25, Faults: 6})
+}
+
+func TestChaosE1SMP(t *testing.T) {
+	sweep(t, Config{Workload: "e1", Steps: 25, Faults: 6, SMP: true})
+}
+
+func TestChaosE4(t *testing.T) {
+	sweep(t, Config{Workload: "e4", Steps: 25, Faults: 6})
+}
+
+func TestChaosE4SMP(t *testing.T) {
+	sweep(t, Config{Workload: "e4", Steps: 25, Faults: 6, SMP: true})
+}
+
+func TestChaosRunIsDeterministic(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 20, Faults: 5, SMP: true}
+	a, err := Run(7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestChaosRejectsUnknownWorkload(t *testing.T) {
+	if _, err := Run(1, Config{Workload: "e9"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// This file makes commits and reverts transactional. Every text write
+// the runtime performs inside one public operation (Commit, Revert,
+// CommitFunc, ...) is journaled first — old bytes and old page
+// protection — and every logical state change registers an undo
+// closure. If any step fails mid-operation, the journal is replayed
+// newest-first: the text image returns byte-identical to its
+// pre-operation state, stranded protection flips are undone, touched
+// icache ranges are re-flushed, and the caller gets a clean
+// ErrCommitAborted wrapping the cause. Transient faults (a lost
+// protection flip, an interrupted write) are retried with a
+// cycle-charged backoff before the operation gives up.
+//
+// The fault model this defends against is deterministic and finite
+// (internal/faultinject: every armed fault point fires exactly once),
+// so the bounded retry loops below provably terminate.
+
+// ErrCommitAborted is returned (wrapped around the causing fault) when
+// a commit or revert could not complete and the process image was
+// rolled back to its pre-operation state.
+var ErrCommitAborted = errors.New("core: commit aborted, image rolled back")
+
+// Retry and rollback bounds. Fault plans are finite, so any bound
+// larger than the plan's point count guarantees progress; these leave
+// generous headroom.
+const (
+	maxPatchRetries = 8   // attempts per text write before aborting
+	maxRestoreTries = 64  // attempts per journal entry during rollback
+	maxFlushVerify  = 64  // shootdown re-broadcasts per verify pass
+	backoffBase     = 200 // simulated cycles charged for the first retry
+	backoffCap      = 1 << 14
+)
+
+// transienter classifies faults that may succeed on retry. It is an
+// interface probe (satisfied by *faultinject.Fault) so core never
+// imports the injector package.
+type transienter interface{ FaultTransient() bool }
+
+// faultTransient reports whether err, anywhere in its chain, marks
+// itself retryable.
+func faultTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.FaultTransient()
+}
+
+// journalEntry is one undoable step: either a text write (old holds
+// the pre-write bytes) or a logical state change (undo != nil).
+type journalEntry struct {
+	addr    uint64
+	old     []byte
+	prot    mem.Prot
+	hasProt bool
+	undo    func()
+}
+
+// txn journals one public runtime operation.
+type txn struct {
+	entries []journalEntry
+}
+
+// beginTxn opens a transaction, or returns nil when one is already
+// open: nested operations join the enclosing transaction, which owns
+// the rollback decision.
+func (rt *Runtime) beginTxn() *txn {
+	if rt.tx != nil {
+		return nil
+	}
+	rt.tx = &txn{}
+	return rt.tx
+}
+
+// noteUndo registers a logical undo closure with the open transaction.
+// Closures run in reverse registration order during rollback,
+// interleaved correctly with byte restores.
+func (rt *Runtime) noteUndo(fn func()) {
+	if rt.tx != nil {
+		rt.tx.entries = append(rt.tx.entries, journalEntry{undo: fn})
+	}
+}
+
+// snapshotProt captures the protection of the page holding addr, when
+// the platform can tell.
+func (rt *Runtime) snapshotProt(addr uint64) (mem.Prot, bool) {
+	if pp, ok := rt.plat.(Protter); ok {
+		return pp.ProtAt(addr)
+	}
+	return 0, false
+}
+
+// writeText performs one journaled text write with bounded
+// retry-with-backoff. old must hold the current content of the range
+// (the caller has just read and verified it). On a transient fault the
+// range is repaired to its journaled state and the write retried after
+// charging backoff cycles; a persistent fault or exhausted retries
+// return the error with the torn state still in place — the
+// transaction's rollback repairs it.
+func (rt *Runtime) writeText(addr uint64, old, data []byte) error {
+	e := journalEntry{addr: addr, old: append([]byte(nil), old...)}
+	e.prot, e.hasProt = rt.snapshotProt(addr)
+	if rt.tx != nil {
+		rt.tx.entries = append(rt.tx.entries, e)
+	}
+	var err error
+	for attempt := 0; attempt < maxPatchRetries; attempt++ {
+		if attempt > 0 {
+			rt.Stats.CommitRetries++
+			if rt.Tracer != nil {
+				rt.Tracer.Emit(trace.KindCommitRetry, addr, uint64(attempt), 0)
+			}
+			rt.repairEntry(e)
+			rt.backoff(attempt)
+		}
+		if err = rt.plat.Patch(addr, data); err == nil {
+			return nil
+		}
+		if !faultTransient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// backoff charges simulated cycles for one retry round. It only runs
+// after a fault fired, so fault-free executions remain cycle-identical
+// to a build without any of this machinery.
+func (rt *Runtime) backoff(attempt int) {
+	ca, ok := rt.plat.(CycleAdvancer)
+	if !ok {
+		return
+	}
+	n := uint64(backoffBase) << (attempt - 1)
+	if n > backoffCap {
+		n = backoffCap
+	}
+	ca.AdvanceCycles(n)
+}
+
+// repairEntry best-effort restores one journal entry: journaled bytes
+// first, then the journaled page protection (a mid-patch fault can
+// strand a page writable). Restores themselves go through the injected
+// memory system and can fault; they are retried until the finite fault
+// plan runs dry or the bound trips.
+func (rt *Runtime) repairEntry(e journalEntry) error {
+	var errs []error
+	restore := func(addr uint64, buf []byte) error { return rt.plat.Patch(addr, buf) }
+	if r, ok := rt.plat.(Restorer); ok {
+		restore = r.Restore
+	}
+	var err error
+	for try := 0; try < maxRestoreTries; try++ {
+		if err = restore(e.addr, e.old); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		errs = append(errs, fmt.Errorf("core: rollback of %#x: %w", e.addr, err))
+	}
+	if e.hasProt {
+		if pr, ok := rt.plat.(Protector); ok {
+			for try := 0; try < maxRestoreTries; try++ {
+				if err = pr.SetProt(e.addr, uint64(len(e.old)), e.prot); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				errs = append(errs, fmt.Errorf("core: rollback of %#x protection: %w", e.addr, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// verifyFlushes re-broadcasts the icache shootdown for every range the
+// transaction touched until no hardware thread caches stale bytes —
+// the acknowledge loop of a real shootdown protocol, and the defense
+// against injected dropped-flush faults. Without a FlushVerifier
+// platform it is a no-op.
+func (rt *Runtime) verifyFlushes(entries []journalEntry) {
+	fv, ok := rt.plat.(FlushVerifier)
+	if !ok {
+		return
+	}
+	for _, e := range entries {
+		if e.undo != nil {
+			continue
+		}
+		n := uint64(len(e.old))
+		for try := 0; try < maxFlushVerify && fv.ICacheStale(e.addr, n); try++ {
+			rt.Stats.FlushRetries++
+			rt.plat.FlushICache(e.addr, n)
+		}
+	}
+}
+
+// endTxn closes a transaction. A nil txn means the operation joined an
+// enclosing transaction, which owns commit/rollback — the error passes
+// through untouched. On success the touched ranges get their
+// shootdowns verified; on failure the journal is rolled back and the
+// error wrapped in ErrCommitAborted.
+func (rt *Runtime) endTxn(t *txn, opErr error) error {
+	if t == nil {
+		return opErr
+	}
+	rt.tx = nil
+	if opErr == nil {
+		rt.verifyFlushes(t.entries)
+		return nil
+	}
+	return rt.abort(t, opErr)
+}
+
+// abort rolls the journal back newest-first, re-flushes every touched
+// range, verifies the shootdowns landed, audits the resulting image,
+// and wraps the cause in ErrCommitAborted.
+func (rt *Runtime) abort(t *txn, cause error) error {
+	rt.Stats.CommitAborts++
+	var errs []error
+	rolled := 0
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		e := t.entries[i]
+		if e.undo != nil {
+			e.undo()
+			continue
+		}
+		if err := rt.repairEntry(e); err != nil {
+			errs = append(errs, err)
+		}
+		rt.plat.FlushICache(e.addr, uint64(len(e.old)))
+		if rt.Tracer != nil {
+			rt.Tracer.Emit(trace.KindRollback, e.addr, uint64(len(e.old)), 0)
+		}
+		rolled++
+	}
+	rt.Stats.SitesRolledBack += rolled
+	rt.verifyFlushes(t.entries)
+	if rt.Tracer != nil {
+		rt.Tracer.Emit(trace.KindCommitAbort, 0, uint64(rolled), 0)
+	}
+	if err := rt.Audit(); err != nil {
+		errs = append(errs, fmt.Errorf("core: post-rollback audit: %w", err))
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("%w: %w (rollback incomplete: %w)", ErrCommitAborted, cause, errors.Join(errs...))
+	}
+	return fmt.Errorf("%w: %w", ErrCommitAborted, cause)
+}

@@ -198,6 +198,14 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 			rstat(func(s RuntimeStats) uint64 { return uint64(s.ProloguePatch) })},
 		{"mv_generic_signals_total", "Commits that fell back to the generic variant.",
 			rstat(func(s RuntimeStats) uint64 { return uint64(s.GenericSignals) })},
+		{"mv_commit_aborts_total", "Commits/reverts rolled back to the pre-operation image.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.CommitAborts) })},
+		{"mv_commit_retries_total", "Text writes retried after a transient injected fault.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.CommitRetries) })},
+		{"mv_sites_rolled_back_total", "Journal entries restored during commit aborts.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.SitesRolledBack) })},
+		{"mv_flush_retries_total", "Icache shootdowns re-broadcast after stale-line verification.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.FlushRetries) })},
 	} {
 		reg.CounterFunc(c.name, c.help, c.read)
 	}

@@ -30,6 +30,46 @@ type MemStatser interface {
 	MemStats() mem.Stats
 }
 
+// The transactional commit layer discovers extra platform capabilities
+// through the optional interfaces below (the same pattern as
+// MemStatser): a port that implements them gets crash-consistent
+// rollback and shootdown verification; a port that does not still
+// works, minus those guarantees.
+
+// Restorer force-writes journaled bytes back into the text segment
+// during rollback, regardless of current page protections — rollback
+// must succeed even when the fault left a page in an unexpected state.
+type Restorer interface {
+	Restore(addr uint64, buf []byte) error
+}
+
+// Protector sets page protections directly, so rollback can undo a
+// protection flip stranded by a mid-patch fault.
+type Protector interface {
+	SetProt(addr, n uint64, prot mem.Prot) error
+}
+
+// Protter inspects the protection of the page holding addr; the
+// journal snapshots it before each patch, and the auditor checks
+// variant pages stay non-writable.
+type Protter interface {
+	ProtAt(addr uint64) (mem.Prot, bool)
+}
+
+// CycleAdvancer charges simulated cycles for retry backoff. Only
+// consulted when a fault actually fired, so uninjected runs stay
+// cycle-identical.
+type CycleAdvancer interface {
+	AdvanceCycles(n uint64)
+}
+
+// FlushVerifier reports whether any hardware thread still caches
+// pre-patch bytes of a range — the acknowledge step of a shootdown
+// protocol, which catches injected dropped-flush faults.
+type FlushVerifier interface {
+	ICacheStale(addr, n uint64) bool
+}
+
 // UserPlatform patches like a user-space process: mprotect the pages
 // writable (never writable+executable, so it also works under strict
 // W^X), write, and restore the original protection.
@@ -77,14 +117,36 @@ func (p *UserPlatform) Patch(addr uint64, buf []byte) error {
 	return nil
 }
 
-// FlushICache implements Platform.
+// FlushICache implements Platform. The flush is broadcast to every
+// hardware thread: on SMP machines a patch must shoot down all icaches,
+// not just the patching CPU's.
 func (p *UserPlatform) FlushICache(addr, n uint64) {
-	p.M.CPU.FlushICache(addr, n)
+	p.M.FlushICacheAll(addr, n)
 	p.Stats.ICacheFlush++
 }
 
 // MemStats implements MemStatser.
 func (p *UserPlatform) MemStats() mem.Stats { return p.M.Mem.Stats }
+
+// Restore implements Restorer.
+func (p *UserPlatform) Restore(addr uint64, buf []byte) error {
+	return p.M.Mem.WriteForce(addr, buf)
+}
+
+// SetProt implements Protector.
+func (p *UserPlatform) SetProt(addr, n uint64, prot mem.Prot) error {
+	return p.M.Mem.Protect(addr, n, prot)
+}
+
+// ProtAt implements Protter.
+func (p *UserPlatform) ProtAt(addr uint64) (mem.Prot, bool) { return p.M.Mem.ProtOf(addr) }
+
+// AdvanceCycles implements CycleAdvancer: retry backoff burns cycles
+// on the patching (primary) CPU.
+func (p *UserPlatform) AdvanceCycles(n uint64) { p.M.CPU.AddCycles(n) }
+
+// ICacheStale implements FlushVerifier.
+func (p *UserPlatform) ICacheStale(addr, n uint64) bool { return p.M.ICacheStale(addr, n) }
 
 // KernelPlatform patches like kernel code: straight through the
 // physical mapping, no protection flips, but still an icache flush.
@@ -108,11 +170,31 @@ func (p *KernelPlatform) Patch(addr uint64, buf []byte) error {
 	return nil
 }
 
-// FlushICache implements Platform.
+// FlushICache implements Platform; like the user port it broadcasts
+// the shootdown to every hardware thread.
 func (p *KernelPlatform) FlushICache(addr, n uint64) {
-	p.M.CPU.FlushICache(addr, n)
+	p.M.FlushICacheAll(addr, n)
 	p.Stats.ICacheFlush++
 }
 
 // MemStats implements MemStatser.
 func (p *KernelPlatform) MemStats() mem.Stats { return p.M.Mem.Stats }
+
+// Restore implements Restorer.
+func (p *KernelPlatform) Restore(addr uint64, buf []byte) error {
+	return p.M.Mem.WriteForce(addr, buf)
+}
+
+// SetProt implements Protector.
+func (p *KernelPlatform) SetProt(addr, n uint64, prot mem.Prot) error {
+	return p.M.Mem.Protect(addr, n, prot)
+}
+
+// ProtAt implements Protter.
+func (p *KernelPlatform) ProtAt(addr uint64) (mem.Prot, bool) { return p.M.Mem.ProtOf(addr) }
+
+// AdvanceCycles implements CycleAdvancer.
+func (p *KernelPlatform) AdvanceCycles(n uint64) { p.M.CPU.AddCycles(n) }
+
+// ICacheStale implements FlushVerifier.
+func (p *KernelPlatform) ICacheStale(addr, n uint64) bool { return p.M.ICacheStale(addr, n) }

@@ -66,6 +66,14 @@ func (rt *Runtime) StateReport() string {
 	s := rt.Stats
 	fmt.Fprintf(&sb, "stat commits=%d reverts=%d sites{patched=%d inlined=%d reverted=%d} prologues=%d generic-signals=%d\n",
 		s.Commits, s.Reverts, s.SitesPatched, s.SitesInlined, s.SitesReverted, s.ProloguePatch, s.GenericSignals)
+	// The transactional counters only print when something transactional
+	// actually happened, so fault-free runs (and their golden tests)
+	// render byte-identically with and without the crash-consistency
+	// layer.
+	if s.CommitAborts+s.CommitRetries+s.SitesRolledBack+s.FlushRetries > 0 {
+		fmt.Fprintf(&sb, "txn  aborts=%d retries=%d sites-rolled-back=%d flush-retries=%d\n",
+			s.CommitAborts, s.CommitRetries, s.SitesRolledBack, s.FlushRetries)
+	}
 	if ms, ok := rt.plat.(MemStatser); ok {
 		m := ms.MemStats()
 		fmt.Fprintf(&sb, "mem  protect-calls=%d icache-flushes=%d\n", m.ProtectCalls, m.Flushes)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/isa"
 	"repro/internal/link"
@@ -23,7 +25,12 @@ type Runtime struct {
 	byGeneric  map[uint64]*funcState
 	byName     map[string]*funcState
 	fnptrs     map[uint64]*fnptrState // keyed by switch-variable address
+	ptrOrder   []*fnptrState          // fnptrs in address order, for deterministic commits
 	sites      map[uint64][]*siteState
+
+	// tx is the open transaction, if any; see journal.go. Public
+	// operations open one, nested helpers join it.
+	tx *txn
 
 	// Stats accumulates patching work across all commits.
 	Stats RuntimeStats
@@ -47,7 +54,10 @@ type Runtime struct {
 	PrologueOnly bool
 }
 
-// RuntimeStats counts runtime-library activity.
+// RuntimeStats counts runtime-library activity. The patch/site
+// counters record attempted work and are not decremented by rollback;
+// the transactional counters below them tell how much of it was
+// subsequently undone.
 type RuntimeStats struct {
 	Commits        int
 	Reverts        int
@@ -56,6 +66,11 @@ type RuntimeStats struct {
 	SitesReverted  int
 	ProloguePatch  int
 	GenericSignals int // commits that fell back to the generic variant
+
+	CommitAborts    int // operations rolled back to the pre-commit image
+	CommitRetries   int // text writes retried after a transient fault
+	SitesRolledBack int // journal entries restored during aborts
+	FlushRetries    int // icache shootdowns re-broadcast after verification
 }
 
 type siteState struct {
@@ -122,6 +137,15 @@ func NewRuntime(img *link.Image, plat Platform) (*Runtime, error) {
 		st.current = append([]byte(nil), st.original...)
 		rt.sites[s.Callee] = append(rt.sites[s.Callee], st)
 	}
+	// Pointer switches live in a map keyed by address; commit them in
+	// address order so every run patches (and injects faults) in the
+	// same deterministic sequence.
+	for _, ps := range rt.fnptrs {
+		rt.ptrOrder = append(rt.ptrOrder, ps)
+	}
+	sort.Slice(rt.ptrOrder, func(i, j int) bool {
+		return rt.ptrOrder[i].vd.Addr < rt.ptrOrder[j].vd.Addr
+	})
 	return rt, nil
 }
 
@@ -166,6 +190,31 @@ func (rt *Runtime) Vars() []VarDesc { return rt.desc.Vars }
 // Sites returns the number of recorded call sites for a callee
 // (generic function address or switch-variable address).
 func (rt *Runtime) Sites(callee uint64) int { return len(rt.sites[callee]) }
+
+// PatchRange is one text range the runtime may rewrite.
+type PatchRange struct {
+	Addr uint64
+	Len  uint64
+}
+
+// PatchRanges returns every text range a commit or revert may patch:
+// all call-site windows plus every generic prologue. A caller driving
+// CPUs concurrently with runtime operations (§3.5's interrupt-window
+// hazard) must keep their PCs out of these ranges while patching; the
+// chaos harness steps CPUs to safety before each operation.
+func (rt *Runtime) PatchRanges() []PatchRange {
+	var out []PatchRange
+	for _, sites := range rt.sites {
+		for _, st := range sites {
+			out = append(out, PatchRange{st.desc.Addr, uint64(st.size)})
+		}
+	}
+	for _, fs := range rt.funcs {
+		out = append(out, PatchRange{fs.fd.Generic, isa.CallSiteLen})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
 
 // FuncByName returns the generic address of a multiversed function.
 func (rt *Runtime) FuncByName(name string) (uint64, bool) {
@@ -252,9 +301,15 @@ func (rt *Runtime) patchSite(st *siteState, newBytes []byte) error {
 	} else if rest < 0 {
 		return fmt.Errorf("core: patch of %d bytes exceeds %d-byte site %#x", len(newBytes), st.size, st.desc.Addr)
 	}
-	if err := rt.plat.Patch(st.desc.Addr, padded); err != nil {
+	if err := rt.writeText(st.desc.Addr, cur, padded); err != nil {
 		return err
 	}
+	prevCur := append([]byte(nil), st.current...)
+	prevPatched := st.patched
+	rt.noteUndo(func() {
+		copy(st.current, prevCur)
+		st.patched = prevPatched
+	})
 	copy(st.current, padded)
 	st.patched = !bytesEqual(st.current, st.original)
 	rt.plat.FlushICache(st.desc.Addr, uint64(st.size))
@@ -362,10 +417,16 @@ func (rt *Runtime) patchPrologue(fs *funcState, v *VariantDesc) error {
 	if rel != int64(int32(rel)) {
 		return fmt.Errorf("core: variant of %q out of jump range", fs.fd.Name)
 	}
-	jmp := isa.EncodeJmp(int32(rel))
-	if err := rt.plat.Patch(fs.fd.Generic, jmp[:]); err != nil {
+	var cur [isa.CallSiteLen]byte
+	if err := rt.plat.Read(fs.fd.Generic, cur[:]); err != nil {
 		return err
 	}
+	jmp := isa.EncodeJmp(int32(rel))
+	if err := rt.writeText(fs.fd.Generic, cur[:], jmp[:]); err != nil {
+		return err
+	}
+	prevOn := fs.prologueOn
+	rt.noteUndo(func() { fs.prologueOn = prevOn })
 	rt.plat.FlushICache(fs.fd.Generic, isa.CallSiteLen)
 	fs.prologueOn = true
 	rt.Stats.ProloguePatch++
@@ -379,9 +440,14 @@ func (rt *Runtime) restorePrologue(fs *funcState) error {
 	if !fs.prologueOn {
 		return nil
 	}
-	if err := rt.plat.Patch(fs.fd.Generic, fs.savedPrologue[:]); err != nil {
+	var cur [isa.CallSiteLen]byte
+	if err := rt.plat.Read(fs.fd.Generic, cur[:]); err != nil {
 		return err
 	}
+	if err := rt.writeText(fs.fd.Generic, cur[:], fs.savedPrologue[:]); err != nil {
+		return err
+	}
+	rt.noteUndo(func() { fs.prologueOn = true })
 	rt.plat.FlushICache(fs.fd.Generic, isa.CallSiteLen)
 	fs.prologueOn = false
 	if rt.Tracer != nil {
@@ -409,7 +475,9 @@ func (rt *Runtime) commitFunc(fs *funcState) (bool, error) {
 	if fs.committed == v {
 		return true, nil
 	}
+	prev := fs.committed
 	rt.metrics.noteBinding(fs.fd, v)
+	rt.noteUndo(func() { rt.metrics.noteBinding(fs.fd, prev) })
 	// Repoint call sites first, then the prologue; both are idempotent
 	// with respect to the saved originals.
 	if rt.PrologueOnly {
@@ -422,13 +490,16 @@ func (rt *Runtime) commitFunc(fs *funcState) (bool, error) {
 	if err := rt.patchPrologue(fs, v); err != nil {
 		return false, err
 	}
+	rt.noteUndo(func() { fs.committed = prev })
 	fs.committed = v
 	return true, nil
 }
 
 func (rt *Runtime) revertFunc(fs *funcState) error {
-	if fs.committed != nil {
+	prev := fs.committed
+	if prev != nil {
 		rt.metrics.noteBinding(fs.fd, nil)
+		rt.noteUndo(func() { rt.metrics.noteBinding(fs.fd, prev) })
 	}
 	if err := rt.revertSitesFor(fs.fd.Generic); err != nil {
 		return err
@@ -436,6 +507,7 @@ func (rt *Runtime) revertFunc(fs *funcState) error {
 	if err := rt.restorePrologue(fs); err != nil {
 		return err
 	}
+	rt.noteUndo(func() { fs.committed = prev })
 	fs.committed = nil
 	return nil
 }
@@ -455,6 +527,8 @@ func (rt *Runtime) commitFnPtr(ps *fnptrState) (bool, error) {
 		if err := rt.revertSitesFor(ps.vd.Addr); err != nil {
 			return false, err
 		}
+		prevC, prevT := ps.committed, ps.target
+		rt.noteUndo(func() { ps.committed, ps.target = prevC, prevT })
 		ps.committed = false
 		return false, nil
 	}
@@ -489,6 +563,8 @@ func (rt *Runtime) commitFnPtr(ps *fnptrState) (bool, error) {
 		}
 		rt.Stats.SitesPatched++
 	}
+	prevC, prevT := ps.committed, ps.target
+	rt.noteUndo(func() { ps.committed, ps.target = prevC, prevT })
 	ps.committed = true
 	ps.target = val
 	return true, nil
@@ -498,6 +574,8 @@ func (rt *Runtime) revertFnPtr(ps *fnptrState) error {
 	if err := rt.revertSitesFor(ps.vd.Addr); err != nil {
 		return err
 	}
+	prevC, prevT := ps.committed, ps.target
+	rt.noteUndo(func() { ps.committed, ps.target = prevC, prevT })
 	ps.committed = false
 	return nil
 }
@@ -540,6 +618,11 @@ func (rt *Runtime) emitSwitchValues() {
 
 // Commit inspects all multiversed variables, selects optimized
 // variants and installs them (Table 1: multiverse_commit).
+//
+// Commit is transactional: if any step fails, the process image is
+// rolled back byte-identical to its pre-commit state and the error
+// wraps ErrCommitAborted. A zero CommitResult is returned in that
+// case — nothing stayed committed.
 func (rt *Runtime) Commit() (CommitResult, error) {
 	rt.Stats.Commits++
 	if end := rt.metrics.beginCommit(rt); end != nil {
@@ -553,50 +636,66 @@ func (rt *Runtime) Commit() (CommitResult, error) {
 			rt.Tracer.Emit(trace.KindCommitEnd, 0, uint64(res.Committed), uint64(res.Generic))
 		}()
 	}
-	for _, fs := range rt.funcs {
-		ok, err := rt.commitFunc(fs)
-		if err != nil {
-			return res, err
+	t := rt.beginTxn()
+	err := func() error {
+		for _, fs := range rt.funcs {
+			ok, err := rt.commitFunc(fs)
+			if err != nil {
+				return err
+			}
+			if ok {
+				res.Committed++
+			} else {
+				res.Generic++
+			}
 		}
-		if ok {
-			res.Committed++
-		} else {
-			res.Generic++
+		for _, ps := range rt.ptrOrder {
+			ok, err := rt.commitFnPtr(ps)
+			if err != nil {
+				return err
+			}
+			if ok {
+				res.Committed++
+			} else {
+				res.Generic++
+			}
 		}
-	}
-	for _, ps := range rt.fnptrs {
-		ok, err := rt.commitFnPtr(ps)
-		if err != nil {
-			return res, err
-		}
-		if ok {
-			res.Committed++
-		} else {
-			res.Generic++
-		}
+		return nil
+	}()
+	if err = rt.endTxn(t, err); err != nil {
+		res = CommitResult{}
+		return res, err
 	}
 	return res, nil
 }
 
 // Revert restores the original process image everywhere
-// (Table 1: multiverse_revert).
+// (Table 1: multiverse_revert). Each function (and pointer switch)
+// reverts in its own transaction: one failed revert rolls that
+// function back and moves on to the next, so a single bad page cannot
+// pin every other binding. The joined errors report every failure.
 func (rt *Runtime) Revert() error {
 	rt.Stats.Reverts++
 	if rt.Tracer != nil {
 		rt.Tracer.Emit(trace.KindRevertBegin, 0, 0, 0)
 		defer rt.Tracer.Emit(trace.KindRevertEnd, 0, 0, 0)
 	}
+	var errs []error
 	for _, fs := range rt.funcs {
-		if err := rt.revertFunc(fs); err != nil {
-			return err
+		t := rt.beginTxn()
+		err := rt.endTxn(t, rt.revertFunc(fs))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("core: reverting %q: %w", fs.fd.Name, err))
 		}
 	}
-	for _, ps := range rt.fnptrs {
-		if err := rt.revertFnPtr(ps); err != nil {
-			return err
+	for _, ps := range rt.ptrOrder {
+		t := rt.beginTxn()
+		err := rt.endTxn(t, rt.revertFnPtr(ps))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("core: reverting switch %q: %w", ps.vd.Name, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // CommitFunc commits a single function identified by its generic
@@ -611,10 +710,19 @@ func (rt *Runtime) CommitFunc(generic uint64) (bool, error) {
 		defer end()
 	}
 	if rt.Tracer == nil {
-		return rt.commitFunc(fs)
+		t := rt.beginTxn()
+		bound, err := rt.commitFunc(fs)
+		if err = rt.endTxn(t, err); err != nil {
+			return false, err
+		}
+		return bound, nil
 	}
 	rt.Tracer.EmitName(trace.KindCommitBegin, generic, 0, 0, fs.fd.Name)
+	t := rt.beginTxn()
 	bound, err := rt.commitFunc(fs)
+	if err = rt.endTxn(t, err); err != nil {
+		bound = false
+	}
 	var nc, ng uint64
 	if bound {
 		nc = 1
@@ -636,7 +744,8 @@ func (rt *Runtime) RevertFunc(generic uint64) error {
 		rt.Tracer.EmitName(trace.KindRevertBegin, generic, 0, 0, fs.fd.Name)
 		defer rt.Tracer.EmitName(trace.KindRevertEnd, generic, 0, 0, fs.fd.Name)
 	}
-	return rt.revertFunc(fs)
+	t := rt.beginTxn()
+	return rt.endTxn(t, rt.revertFunc(fs))
 }
 
 // refersTo reports whether any variant of fd guards on the switch.
@@ -666,34 +775,44 @@ func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 			rt.Tracer.Emit(trace.KindCommitEnd, varAddr, uint64(res.Committed), uint64(res.Generic))
 		}()
 	}
-	if ps, ok := rt.fnptrs[varAddr]; ok {
-		ok2, err := rt.commitFnPtr(ps)
-		if err != nil {
-			return res, err
+	if _, isPtr := rt.fnptrs[varAddr]; !isPtr {
+		if _, known := rt.varsByAddr[varAddr]; !known {
+			return res, fmt.Errorf("core: %#x is not a configuration switch", varAddr)
 		}
-		if ok2 {
-			res.Committed++
-		} else {
-			res.Generic++
-		}
-		return res, nil
 	}
-	if _, known := rt.varsByAddr[varAddr]; !known {
-		return res, fmt.Errorf("core: %#x is not a configuration switch", varAddr)
-	}
-	for _, fs := range rt.funcs {
-		if !refersTo(fs.fd, varAddr) {
-			continue
+	t := rt.beginTxn()
+	err := func() error {
+		if ps, ok := rt.fnptrs[varAddr]; ok {
+			ok2, err := rt.commitFnPtr(ps)
+			if err != nil {
+				return err
+			}
+			if ok2 {
+				res.Committed++
+			} else {
+				res.Generic++
+			}
+			return nil
 		}
-		ok, err := rt.commitFunc(fs)
-		if err != nil {
-			return res, err
+		for _, fs := range rt.funcs {
+			if !refersTo(fs.fd, varAddr) {
+				continue
+			}
+			ok, err := rt.commitFunc(fs)
+			if err != nil {
+				return err
+			}
+			if ok {
+				res.Committed++
+			} else {
+				res.Generic++
+			}
 		}
-		if ok {
-			res.Committed++
-		} else {
-			res.Generic++
-		}
+		return nil
+	}()
+	if err = rt.endTxn(t, err); err != nil {
+		res = CommitResult{}
+		return res, err
 	}
 	return res, nil
 }
@@ -707,18 +826,23 @@ func (rt *Runtime) RevertRefs(varAddr uint64) error {
 		defer rt.Tracer.Emit(trace.KindRevertEnd, varAddr, 0, 0)
 	}
 	if ps, ok := rt.fnptrs[varAddr]; ok {
-		return rt.revertFnPtr(ps)
+		t := rt.beginTxn()
+		return rt.endTxn(t, rt.revertFnPtr(ps))
 	}
 	if _, known := rt.varsByAddr[varAddr]; !known {
 		return fmt.Errorf("core: %#x is not a configuration switch", varAddr)
 	}
+	// Like Revert: one transaction per function, joined errors, so a
+	// failed revert cannot block the remaining functions.
+	var errs []error
 	for _, fs := range rt.funcs {
 		if !refersTo(fs.fd, varAddr) {
 			continue
 		}
-		if err := rt.revertFunc(fs); err != nil {
-			return err
+		t := rt.beginTxn()
+		if err := rt.endTxn(t, rt.revertFunc(fs)); err != nil {
+			errs = append(errs, fmt.Errorf("core: reverting %q: %w", fs.fd.Name, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

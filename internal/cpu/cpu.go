@@ -55,6 +55,24 @@ type Hypervisor interface {
 	Hypercall(c *CPU, n uint8) error
 }
 
+// Injector is the CPU-side fault-injection hook (see
+// internal/faultinject, which implements it together with the
+// mem-side hooks). A nil injector disables injection entirely: Run
+// selects the hook-free stepFast loop, so the unobserved hot path is
+// untouched — the same pattern as Tracer. Implementations must be
+// deterministic.
+type Injector interface {
+	// FetchFault is consulted once per Step before fetch; a non-nil
+	// error models a spurious instruction-fetch fault. The PC does not
+	// advance, so re-stepping retries the same instruction.
+	FetchFault(cpu int, pc, cycles uint64) error
+	// DropFlush reports whether this CPU should silently lose the
+	// icache invalidation for [addr, addr+n) — a dropped SMP shootdown
+	// IPI. The CPU keeps executing its stale snapshot until the next
+	// flush of the range.
+	DropFlush(cpu int, addr, n uint64) bool
+}
+
 // Config holds the cycle cost model. All costs are in cycles.
 type Config struct {
 	CostALU   int // simple ALU op, MOV, MOVI, LEA, SPADD
@@ -202,6 +220,9 @@ type CPU struct {
 	hypervisor Hypervisor
 	tracer     trace.Tracer
 
+	inject Injector // nil = no fault injection (Run keeps stepFast)
+	id     int      // hardware-thread index the injector keys faults on
+
 	intrPeriod uint64 // perturbation period in cycles; 0 = off
 	intrCost   uint64
 	nextIntr   uint64
@@ -222,7 +243,7 @@ type CPU struct {
 
 type icLine struct {
 	bytes   []byte // snapshot of the page at fill time
-	version uint64 // page version at fill time (diagnostic only)
+	version uint64 // page version at fill time; ICacheStale compares it
 
 	// dec lazily caches instructions decoded from bytes, indexed by
 	// in-page offset (Len == 0 means not decoded). It lives and dies
@@ -254,6 +275,15 @@ func (c *CPU) SetTracer(t trace.Tracer) { c.tracer = t }
 
 // Tracer returns the installed tracer, if any.
 func (c *CPU) Tracer() trace.Tracer { return c.tracer }
+
+// SetInjector installs (or, with nil, removes) the fault injector and
+// this CPU's hardware-thread index, which the injector uses to bind
+// faults to one SMP thread. With a nil injector the hot path is
+// byte-identical to an injection-free build.
+func (c *CPU) SetInjector(inj Injector, id int) { c.inject = inj; c.id = id }
+
+// Injector returns the installed fault injector, if any.
+func (c *CPU) Injector() Injector { return c.inject }
 
 // Reg returns the value of register r.
 func (c *CPU) Reg(r isa.Reg) uint64 { return c.regs[r] }
@@ -317,6 +347,16 @@ func (c *CPU) FlushICache(addr, n uint64) {
 	if n == 0 {
 		return
 	}
+	if c.inject != nil && c.inject.DropFlush(c.id, addr, n) {
+		// The shootdown IPI for this CPU was lost: its snapshot lines
+		// survive and it keeps executing the pre-patch bytes. The
+		// commit-side coherence verification (core) detects the stale
+		// lines via ICacheStale and re-issues the flush.
+		if c.tracer != nil {
+			c.tracer.Emit(trace.KindFaultInjected, addr, n, 2)
+		}
+		return
+	}
 	c.Mem.Stats.Flushes++
 	if c.tracer != nil {
 		c.tracer.Emit(trace.KindFlushICache, addr, n, 0)
@@ -329,6 +369,45 @@ func (c *CPU) FlushICache(addr, n uint64) {
 	// The decode-cache fast path memoizes the last line; a flush may
 	// have dropped it.
 	c.lastLine = nil
+}
+
+// ICacheStale reports whether this CPU holds an instruction-cache line
+// overlapping [addr, addr+n) whose snapshot predates the newest write
+// to its page — i.e. whether a patch has not yet reached this CPU's
+// frontend. Each line records the page's write-version at fill time;
+// comparing it against the current version is exactly the check a
+// shootdown-acknowledge protocol performs. The crash-consistency layer
+// (core) uses it after commits and rollbacks to verify that no SMP
+// thread lost its invalidation to an injected dropped-IPI fault.
+func (c *CPU) ICacheStale(addr, n uint64) bool {
+	if n == 0 {
+		return false
+	}
+	first := addr >> mem.PageShift
+	last := (addr + n - 1) >> mem.PageShift
+	// Wide queries (a whole-address-space coherence sweep) walk the
+	// cached lines instead of every page of the range.
+	if last-first >= uint64(len(c.icache)) {
+		for pn, line := range c.icache {
+			if pn < first || pn > last {
+				continue
+			}
+			if ver, mapped := c.Mem.PageVersion(pn << mem.PageShift); mapped && ver != line.version {
+				return true
+			}
+		}
+		return false
+	}
+	for pn := first; pn <= last; pn++ {
+		line, ok := c.icache[pn]
+		if !ok {
+			continue // next fetch refills from memory: coherent
+		}
+		if ver, mapped := c.Mem.PageVersion(pn << mem.PageShift); mapped && ver != line.version {
+			return true
+		}
+	}
+	return false
 }
 
 // FlushPredictor clears the BTB and the return-address stack. The
@@ -392,6 +471,16 @@ func (c *CPU) Step() error {
 		return fmt.Errorf("cpu: step on halted CPU")
 	}
 	pc := c.pc
+	if c.inject != nil {
+		if err := c.inject.FetchFault(c.id, pc, c.cycles); err != nil {
+			// A spurious fetch fault: nothing retired, the PC holds, so
+			// the caller may service it and re-step the instruction.
+			if c.tracer != nil {
+				c.tracer.Emit(trace.KindFaultInjected, pc, 0, 3)
+			}
+			return &execError{pc, err}
+		}
+	}
 	if c.decodeCache {
 		if in, ok := c.cachedInst(pc); ok {
 			c.stats.DecodeHits++
@@ -408,9 +497,9 @@ func (c *CPU) Step() error {
 }
 
 // stepFast is Step without the per-instruction hook checks. Run
-// selects it once per call when neither Trace nor a tracer is
+// selects it once per call when no Trace, tracer or fault injector is
 // installed, so the unobserved hot path pays nothing for
-// observability (hooks cannot appear mid-Run). The decode-miss path
+// observability or injection (hooks cannot appear mid-Run). The decode-miss path
 // keeps its hook checks: it is off the hot path anyway and sharing it
 // avoids a second copy of the decoder.
 func (c *CPU) stepFast() error {
@@ -880,7 +969,7 @@ func (c *CPU) Run(maxSteps uint64) (uint64, error) {
 	var steps uint64
 	// Hooks are bound before Run and cannot appear mid-run, so the
 	// per-instruction nil checks can be hoisted out of the loop.
-	if c.Trace == nil && c.tracer == nil {
+	if c.Trace == nil && c.tracer == nil && c.inject == nil {
 		for steps < maxSteps {
 			if c.halted {
 				return steps, nil

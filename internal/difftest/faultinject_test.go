@@ -1,0 +1,132 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/faultinject"
+	"repro/internal/kernelsim"
+	"repro/internal/muslsim"
+)
+
+// The fault injector is a host-side instrument: attaching a plan whose
+// points never fire must not change a single simulated cycle. These
+// tests run E1 (spinlock kernel) and E4 (mini-musl) with no injector
+// and with an inert (empty) plan attached and require the
+// bench.Result structs to be bit-identical. Together with the unit
+// tests this pins the acceptance property that un-instrumented runs
+// are unperturbed: the hooks are nil-checked on the hot paths and the
+// retry/backoff machinery only advances cycles after a fault fires.
+
+func TestFaultInjectorInvarianceSpin(t *testing.T) {
+	opts := kernelsim.MeasureOpts{Samples: 10, Iters: 30, Warmup: 2}
+	measure := func(attach bool) map[string]bench.Result {
+		out := make(map[string]bench.Result)
+		for _, smp := range []bool{false, true} {
+			s, err := kernelsim.BuildSpin(kernelsim.SpinMultiverse)
+			if err != nil {
+				t.Fatalf("BuildSpin: %v", err)
+			}
+			if attach {
+				faultinject.Exact().Attach(s.System().Machine)
+			}
+			if err := s.SetSMP(smp); err != nil {
+				t.Fatalf("SetSMP(%v): %v", smp, err)
+			}
+			r, err := s.Measure(opts)
+			if err != nil {
+				t.Fatalf("Measure(smp=%v): %v", smp, err)
+			}
+			out[map[bool]string{false: "up", true: "smp"}[smp]] = r
+		}
+		return out
+	}
+	bare := measure(false)
+	inert := measure(true)
+	for k, r := range bare {
+		if r != inert[k] {
+			t.Errorf("%s: results differ with inert injector attached:\nbare:  %+v\ninert: %+v",
+				k, r, inert[k])
+		}
+	}
+}
+
+func TestFaultInjectorInvarianceMusl(t *testing.T) {
+	measure := func(attach bool) map[muslsim.Func]bench.Result {
+		out := make(map[muslsim.Func]bench.Result)
+		m, err := muslsim.BuildMusl(muslsim.Multiverse)
+		if err != nil {
+			t.Fatalf("BuildMusl: %v", err)
+		}
+		if attach {
+			faultinject.Exact().Attach(m.System().Machine)
+		}
+		if err := m.SetThreads(false); err != nil {
+			t.Fatalf("SetThreads: %v", err)
+		}
+		for _, f := range muslsim.Funcs() {
+			r, err := m.Measure(f, 6, 40)
+			if err != nil {
+				t.Fatalf("Measure(%v): %v", f, err)
+			}
+			out[f] = r
+		}
+		return out
+	}
+	bare := measure(false)
+	inert := measure(true)
+	for f, r := range bare {
+		if r != inert[f] {
+			t.Errorf("%v: results differ with inert injector attached:\nbare:  %+v\ninert: %+v",
+				f, r, inert[f])
+		}
+	}
+}
+
+// An exhausted plan (every point already fired) must be as invisible
+// as an empty one: the firing bookkeeping lives outside the cycle
+// model.
+func TestExhaustedPlanIsInert(t *testing.T) {
+	opts := kernelsim.MeasureOpts{Samples: 6, Iters: 20, Warmup: 1}
+
+	s, err := kernelsim.BuildSpin(kernelsim.SpinMultiverse)
+	if err != nil {
+		t.Fatalf("BuildSpin: %v", err)
+	}
+	if err := s.SetSMP(true); err != nil {
+		t.Fatalf("SetSMP(true): %v", err)
+	}
+	if err := s.SetSMP(false); err != nil {
+		t.Fatalf("SetSMP(false): %v", err)
+	}
+	base, err := s.Measure(opts)
+	if err != nil {
+		t.Fatalf("baseline Measure: %v", err)
+	}
+
+	s2, err := kernelsim.BuildSpin(kernelsim.SpinMultiverse)
+	if err != nil {
+		t.Fatalf("BuildSpin: %v", err)
+	}
+	plan := faultinject.Exact(faultinject.Point{Kind: faultinject.KindProtect, Op: 0, Transient: true})
+	plan.Attach(s2.System().Machine)
+	// The transient fault fires during the first commit's first protect
+	// flip and is retried transparently; the commit still succeeds and
+	// the plan is spent.
+	if err := s2.SetSMP(true); err != nil {
+		t.Fatalf("commit with armed transient protect fault: %v", err)
+	}
+	if plan.Remaining() != 0 {
+		t.Fatal("transient protect fault never fired")
+	}
+	if err := s2.SetSMP(false); err != nil {
+		t.Fatalf("re-commit after exhausting the plan: %v", err)
+	}
+	got, err := s2.Measure(opts)
+	if err != nil {
+		t.Fatalf("Measure with exhausted plan: %v", err)
+	}
+	if got != base {
+		t.Errorf("results differ with exhausted plan attached:\nbare:      %+v\nexhausted: %+v", base, got)
+	}
+}

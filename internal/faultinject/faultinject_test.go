@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestSeededPlanIsDeterministic(t *testing.T) {
+	a := New(42, Opts{Points: 8, CPUs: 3})
+	b := New(42, Opts{Points: 8, CPUs: 3})
+	if !reflect.DeepEqual(a.Points(), b.Points()) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a.Points(), b.Points())
+	}
+	c := New(43, Opts{Points: 8, CPUs: 3})
+	if reflect.DeepEqual(a.Points(), c.Points()) {
+		t.Fatalf("different seeds produced identical plans: %v", a.Points())
+	}
+}
+
+func TestProtectFaultFiresOnNthOpExactlyOnce(t *testing.T) {
+	p := Exact(Point{Kind: KindProtect, Op: 2, Transient: true})
+	for i := 0; i < 6; i++ {
+		err := p.ProtectFault(0x1000, 0x1000, mem.RW)
+		if (err != nil) != (i == 2) {
+			t.Fatalf("op %d: err = %v", i, err)
+		}
+		if i == 2 {
+			var f *Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("op 2 error is %T, want *Fault", err)
+			}
+			if !f.FaultTransient() {
+				t.Fatalf("transient point produced non-transient fault")
+			}
+		}
+	}
+	if p.Stats.Protect != 1 {
+		t.Fatalf("Protect fired %d times, want 1", p.Stats.Protect)
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d, want 0", p.Remaining())
+	}
+}
+
+func TestWriteTearScopedToText(t *testing.T) {
+	p := Exact(Point{Kind: KindWriteTear, Op: 0, Tear: 2})
+	p.text = []textRange{{0x400000, 0x401000}}
+
+	// Writes outside the text ranges neither fault nor consume ops.
+	if tear, err := p.WriteTear(0x601000, 5); err != nil || tear != 0 {
+		t.Fatalf("data write: tear=%d err=%v, want clean pass", tear, err)
+	}
+	tear, err := p.WriteTear(0x400100, 5)
+	if err == nil {
+		t.Fatalf("text write did not fault")
+	}
+	if tear != 2 {
+		t.Fatalf("tear = %d, want 2", tear)
+	}
+	// A tear can never land the full write.
+	p2 := Exact(Point{Kind: KindWriteTear, Op: 0, Tear: 9})
+	p2.text = []textRange{{0x400000, 0x401000}}
+	tear, err = p2.WriteTear(0x400100, 5)
+	if err == nil || tear >= 5 {
+		t.Fatalf("tear = %d err = %v, want partial tear with error", tear, err)
+	}
+}
+
+func TestDropFlushPerCPU(t *testing.T) {
+	p := Exact(Point{Kind: KindDropFlush, Op: 1, CPU: 1})
+	// CPU 0's flushes are never dropped.
+	for i := 0; i < 4; i++ {
+		if p.DropFlush(0, 0x400000, 16) {
+			t.Fatalf("cpu 0 flush %d dropped", i)
+		}
+	}
+	// CPU 1 drops exactly its second flush.
+	if p.DropFlush(1, 0x400000, 16) {
+		t.Fatalf("cpu 1 flush 0 dropped, point is armed for op 1")
+	}
+	if !p.DropFlush(1, 0x400000, 16) {
+		t.Fatalf("cpu 1 flush 1 not dropped")
+	}
+	if p.DropFlush(1, 0x400000, 16) {
+		t.Fatalf("cpu 1 flush 2 dropped, point already fired")
+	}
+}
+
+func TestFetchFaultFiresAtCycleThreshold(t *testing.T) {
+	p := Exact(Point{Kind: KindFetchFault, CPU: 0, Cycle: 100, Transient: true})
+	if err := p.FetchFault(0, 0x400000, 99); err != nil {
+		t.Fatalf("fetch before threshold faulted: %v", err)
+	}
+	if err := p.FetchFault(1, 0x400000, 200); err != nil {
+		t.Fatalf("fetch on wrong cpu faulted: %v", err)
+	}
+	err := p.FetchFault(0, 0x400010, 150)
+	if err == nil {
+		t.Fatalf("fetch at cycle 150 did not fault")
+	}
+	// The architectural fault metadata must survive errors.As through
+	// the injector's wrapper.
+	var mf *mem.Fault
+	if !errors.As(err, &mf) {
+		t.Fatalf("fetch fault does not unwrap to *mem.Fault: %v", err)
+	}
+	if mf.Addr != 0x400010 || mf.Kind != mem.AccessExec {
+		t.Fatalf("unwrapped fault = %+v, want exec fault at 0x400010", mf)
+	}
+	// Spurious fault: the retry succeeds.
+	if err := p.FetchFault(0, 0x400010, 151); err != nil {
+		t.Fatalf("retried fetch faulted again: %v", err)
+	}
+}

@@ -135,6 +135,10 @@ func BuildFig1(b Fig1Binding, smp bool) (*Fig1System, error) {
 	return f, nil
 }
 
+// System exposes the underlying machine/runtime pair, so harnesses
+// (difftests, chaos) can attach injectors or drive commits directly.
+func (f *Fig1System) System() *core.System { return f.sys }
+
 // Measure returns the spin_irq_lock cost in cycles (lock_release is
 // part of the loop for all bindings and cancels in comparisons; the
 // Figure 1 shape is driven entirely by the lock side).

@@ -41,6 +41,59 @@ type Machine struct {
 
 	extraCPUs int        // secondary hardware threads added via AddCPU
 	cpus      []*cpu.CPU // every hardware thread, primary first
+	injector  Injector   // propagated to CPUs added after SetInjector
+}
+
+// Injector is the union of the memory-side and CPU-side fault
+// injection hooks (internal/faultinject.Plan implements it).
+type Injector interface {
+	mem.Injector
+	cpu.Injector
+}
+
+// SetInjector wires a fault injector into the memory system and every
+// hardware thread (present and future: AddCPU propagates it). Passing
+// nil detaches injection everywhere, restoring the hook-free fast
+// paths.
+func (m *Machine) SetInjector(inj Injector) {
+	m.injector = inj
+	if inj == nil {
+		m.Mem.Inject = nil
+		for i, c := range m.cpus {
+			c.SetInjector(nil, i)
+		}
+		return
+	}
+	m.Mem.Inject = inj
+	for i, c := range m.cpus {
+		c.SetInjector(inj, i)
+	}
+}
+
+// Injector returns the installed fault injector, if any.
+func (m *Machine) Injector() Injector { return m.injector }
+
+// FlushICacheAll invalidates [addr, addr+n) in the instruction cache
+// of every hardware thread — the shootdown IPI broadcast a real SMP
+// patching runtime performs. With fault injection attached, one CPU's
+// invalidation may be dropped; ICacheStale detects the survivor.
+func (m *Machine) FlushICacheAll(addr, n uint64) {
+	for _, c := range m.cpus {
+		c.FlushICache(addr, n)
+	}
+}
+
+// ICacheStale reports whether any hardware thread still caches a
+// pre-patch snapshot of [addr, addr+n) — the check a
+// shootdown-acknowledge protocol performs before declaring a text
+// patch globally visible.
+func (m *Machine) ICacheStale(addr, n uint64) bool {
+	for _, c := range m.cpus {
+		if c.ICacheStale(addr, n) {
+			return true
+		}
+	}
+	return false
 }
 
 // Option configures machine construction.

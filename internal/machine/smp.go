@@ -34,6 +34,9 @@ func (m *Machine) AddCPU() (*cpu.CPU, error) {
 	} else {
 		c.SetTracer(nil)
 	}
+	// A machine-wide injector covers late-added threads too, under the
+	// hardware-thread index the fault plan keys on.
+	c.SetInjector(m.injector, len(m.cpus))
 	m.cpus = append(m.cpus, c)
 	return c, nil
 }

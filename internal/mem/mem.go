@@ -116,6 +116,23 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// Injector is the fault-injection hook of the memory system (see
+// internal/faultinject, which implements it). A nil injector disables
+// injection; the hooks below are single pointer-nil checks, so the
+// uninjected paths stay unperturbed. Implementations must be
+// deterministic: the same operation sequence sees the same faults.
+type Injector interface {
+	// ProtectFault is consulted after a Protect call has validated its
+	// arguments and before it mutates any page. A non-nil error models
+	// a transient or permanent mprotect failure (EPERM/EAGAIN); no
+	// protection changes when it fires.
+	ProtectFault(addr, length uint64, prot Prot) error
+	// WriteTear is consulted before a multi-byte write. A non-nil
+	// error models an interrupt or fault landing mid-write: the first
+	// tear bytes still reach memory, the rest do not (a torn rel32).
+	WriteTear(addr uint64, n int) (tear int, err error)
+}
+
 // Memory is a sparse paged address space.
 type Memory struct {
 	pages map[uint64]*page // keyed by page number (addr >> PageShift)
@@ -129,6 +146,11 @@ type Memory struct {
 
 	// Tracer, when non-nil, observes protection transitions.
 	Tracer trace.Tracer
+
+	// Inject, when non-nil, may fail Protect calls and tear writes
+	// (see Injector). Left nil, the write and protect paths cost one
+	// pointer check.
+	Inject Injector
 }
 
 // New returns an empty address space.
@@ -169,16 +191,22 @@ func (m *Memory) Map(addr, length uint64, prot Prot) error {
 	return nil
 }
 
-// Unmap removes the pages covering [addr, addr+length).
+// Unmap removes the pages covering [addr, addr+length). Like Map it
+// rejects zero-length ranges, and an unmapped page anywhere in the
+// range fails the whole call with a *Fault before anything is removed.
 func (m *Memory) Unmap(addr, length uint64) error {
 	if addr%PageSize != 0 || length%PageSize != 0 {
 		return fmt.Errorf("mem: Unmap(%#x, %#x) not page-aligned", addr, length)
+	}
+	if length == 0 {
+		return fmt.Errorf("mem: Unmap with zero length")
 	}
 	first := addr >> PageShift
 	n := length >> PageShift
 	for i := uint64(0); i < n; i++ {
 		if _, ok := m.pages[first+i]; !ok {
-			return fmt.Errorf("mem: Unmap(%#x, %#x): page %#x not mapped", addr, length, (first+i)<<PageShift)
+			return fmt.Errorf("mem: Unmap(%#x, %#x): %w", addr, length,
+				&Fault{Addr: (first + i) << PageShift, Kind: AccessWrite})
 		}
 	}
 	for i := uint64(0); i < n; i++ {
@@ -189,7 +217,10 @@ func (m *Memory) Unmap(addr, length uint64) error {
 
 // Protect changes the protection of all pages overlapping
 // [addr, addr+length), like mprotect(2). addr need not be aligned; the
-// range is widened to page boundaries.
+// range is widened to page boundaries. The call is atomic: every page
+// is validated (mapped, W^X) before any protection changes, so a
+// failure anywhere in the range leaves every page untouched. An
+// unmapped page reports a *Fault carrying its address.
 func (m *Memory) Protect(addr, length uint64, prot Prot) error {
 	if length == 0 {
 		return fmt.Errorf("mem: Protect with zero length")
@@ -201,7 +232,16 @@ func (m *Memory) Protect(addr, length uint64, prot Prot) error {
 	last := (addr + length - 1) >> PageShift
 	for pn := first; pn <= last; pn++ {
 		if _, ok := m.pages[pn]; !ok {
-			return fmt.Errorf("mem: Protect(%#x, %#x): page %#x not mapped", addr, length, pn<<PageShift)
+			return fmt.Errorf("mem: Protect(%#x, %#x): %w", addr, length,
+				&Fault{Addr: pn << PageShift, Kind: AccessWrite})
+		}
+	}
+	if m.Inject != nil {
+		if err := m.Inject.ProtectFault(addr, length, prot); err != nil {
+			if m.Tracer != nil {
+				m.Tracer.Emit(trace.KindFaultInjected, addr, length, 0)
+			}
+			return err
 		}
 	}
 	old := m.pages[first].prot
@@ -280,8 +320,41 @@ func (m *Memory) Read(addr uint64, buf []byte) error {
 // Write copies buf to addr, checking the Write permission and bumping
 // the page version counters.
 func (m *Memory) Write(addr uint64, buf []byte) error {
+	if m.Inject != nil {
+		if err := m.tornWrite(addr, buf, Write); err != nil {
+			return err
+		}
+	}
+	return m.writeBytes(addr, buf, Write)
+}
+
+// tornWrite consults the injector before a write; when a tear fires it
+// lands the torn prefix (the bytes the interrupted store already
+// retired) and returns the injected fault. A nil verdict reports nil
+// and the caller proceeds with the full write.
+func (m *Memory) tornWrite(addr uint64, buf []byte, need Prot) error {
+	tear, err := m.Inject.WriteTear(addr, len(buf))
+	if err == nil {
+		return nil
+	}
+	if tear > len(buf) {
+		tear = len(buf)
+	}
+	if tear > 0 {
+		if werr := m.writeBytes(addr, buf[:tear], need); werr != nil {
+			return werr
+		}
+	}
+	if m.Tracer != nil {
+		m.Tracer.Emit(trace.KindFaultInjected, addr, uint64(tear), 1)
+	}
+	return err
+}
+
+// writeBytes is the shared store path of Write and WriteForce.
+func (m *Memory) writeBytes(addr uint64, buf []byte, need Prot) error {
 	pos := 0
-	return m.access(addr, len(buf), AccessWrite, Write, func(pg *page, off int, slice []byte) {
+	return m.access(addr, len(buf), AccessWrite, need, func(pg *page, off int, slice []byte) {
 		copy(slice, buf[pos:])
 		pos += len(slice)
 		pg.version++
@@ -303,12 +376,12 @@ func (m *Memory) Fetch(addr uint64, buf []byte) error {
 // the runtime library, which patches text through the direct mapping
 // instead of calling mprotect. Page versions are bumped as usual.
 func (m *Memory) WriteForce(addr uint64, buf []byte) error {
-	pos := 0
-	return m.access(addr, len(buf), AccessWrite, 0, func(pg *page, off int, slice []byte) {
-		copy(slice, buf[pos:])
-		pos += len(slice)
-		pg.version++
-	})
+	if m.Inject != nil {
+		if err := m.tornWrite(addr, buf, 0); err != nil {
+			return err
+		}
+	}
+	return m.writeBytes(addr, buf, 0)
 }
 
 func le(b []byte) uint64 {

@@ -42,6 +42,10 @@ func (k Kind) cat() string {
 		return "mem"
 	case KindInterrupt, KindMispredict:
 		return "cpu"
+	case KindFaultInjected:
+		return "fault"
+	case KindCommitRetry, KindCommitAbort, KindRollback:
+		return "txn"
 	}
 	return "other"
 }
@@ -101,6 +105,18 @@ func (c *Collector) args(ev Event) map[string]any {
 		sym(ev.Addr)
 		a["target"] = hex(ev.A)
 		a["branch"] = [...]string{"cond", "indirect", "ret"}[ev.B%3]
+	case KindFaultInjected:
+		sym(ev.Addr)
+		a["aux"] = ev.A
+		a["fault"] = [...]string{"protect", "torn-write", "drop-flush", "fetch"}[ev.B%4]
+	case KindCommitRetry:
+		sym(ev.Addr)
+		a["attempt"] = ev.A
+	case KindCommitAbort:
+		a["rolled_back"] = ev.A
+	case KindRollback:
+		sym(ev.Addr)
+		a["len"] = ev.A
 	}
 	if len(a) == 0 {
 		return nil

@@ -53,6 +53,15 @@ const (
 	// Microarchitectural events (internal/cpu).
 	KindInterrupt  // Addr = pc, A = cycles stolen
 	KindMispredict // Addr = pc, A = actual target/taken, B = 0 cond, 1 indirect, 2 ret
+
+	// Fault-injection and crash-consistency events (internal/mem,
+	// internal/cpu, internal/core). The B field of KindFaultInjected
+	// carries the injected kind: 0 protect, 1 torn write, 2 dropped
+	// icache flush, 3 spurious fetch fault.
+	KindFaultInjected // Addr = faulting address, A = aux (length/tear/pc), B = fault kind
+	KindCommitRetry   // Addr = retried patch address, A = attempt number
+	KindCommitAbort   // Addr = commit scope, A = journal entries rolled back
+	KindRollback      // Addr = restored range start, A = length
 )
 
 // String names the kind as exported to Chrome traces.
@@ -78,6 +87,14 @@ func (k Kind) String() string {
 		return "Interrupt"
 	case KindMispredict:
 		return "Mispredict"
+	case KindFaultInjected:
+		return "FaultInjected"
+	case KindCommitRetry:
+		return "CommitRetry"
+	case KindCommitAbort:
+		return "CommitAbort"
+	case KindRollback:
+		return "Rollback"
 	}
 	return "Unknown"
 }
