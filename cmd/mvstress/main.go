@@ -9,11 +9,20 @@
 //	mvstress [-seeds n] [-seed-base s] [-workload e1|e4|all] [-smp] \
 //	         [-steps n] [-faults n] [-artifact out.json] [-v]
 //
+// With -concurrent it instead sweeps the cross-modifying-commit
+// property runs: operations land mid-execution on running CPUs under
+// the stop-machine rendezvous ("stop") or the BRK text-poke protocol
+// ("poke"), with activeness deferral:
+//
+//	mvstress -concurrent [-cpus 1|2] [-mode stop|poke|all] ...
+//
 // On failure it prints the offending seed and configuration, writes a
-// JSON repro artifact if -artifact is given, and exits nonzero. Any
-// reported seed reproduces exactly:
+// JSON repro artifact if -artifact is given (for concurrent runs the
+// artifact records the effective per-CPU scheduler quanta), and exits
+// nonzero. Any reported seed reproduces exactly:
 //
 //	mvstress -seeds 1 -seed-base <seed> -workload <w> [-smp]
+//	mvstress -seeds 1 -seed-base <seed> -workload <w> -concurrent -cpus <n> -mode <m>
 package main
 
 import (
@@ -34,12 +43,19 @@ var (
 	faults   = flag.Int("faults", 6, "armed fault points per run")
 	artifact = flag.String("artifact", "", "write a JSON repro artifact here on failure")
 	verbose  = flag.Bool("v", false, "print a line per run")
+
+	concurrent = flag.Bool("concurrent", false, "sweep cross-modifying-commit runs (ops land on running CPUs)")
+	cpus       = flag.Int("cpus", 0, "concurrent mode: CPU count 1 or 2 (default sweeps both)")
+	mode       = flag.String("mode", "all", "concurrent mode: stop, poke or all")
 )
 
 // failure is the repro artifact written for the first failing seed.
+// Quanta records the effective per-CPU scheduler quanta of concurrent
+// runs, so the artifact captures the exact interleaving schedule.
 type failure struct {
 	Seed   int64        `json:"seed"`
 	Config chaos.Config `json:"config"`
+	Quanta []int        `json:"quanta,omitempty"`
 	Error  string       `json:"error"`
 }
 
@@ -55,6 +71,33 @@ func configs() []chaos.Config {
 		os.Exit(2)
 	}
 	var cfgs []chaos.Config
+	if *concurrent {
+		var modes []string
+		switch *mode {
+		case "all":
+			modes = []string{"stop", "poke"}
+		case "stop", "poke":
+			modes = []string{*mode}
+		default:
+			fmt.Fprintf(os.Stderr, "mvstress: unknown mode %q (want stop, poke or all)\n", *mode)
+			os.Exit(2)
+		}
+		ncpus := []int{1, 2}
+		if *cpus != 0 {
+			ncpus = []int{*cpus}
+		}
+		for _, n := range names {
+			for _, md := range modes {
+				for _, nc := range ncpus {
+					cfgs = append(cfgs, chaos.Config{
+						Workload: n, Steps: *steps, Faults: *faults,
+						Concurrent: true, CPUs: nc, Mode: md,
+					})
+				}
+			}
+		}
+		return cfgs
+	}
 	for _, n := range names {
 		if !*smp {
 			cfgs = append(cfgs, chaos.Config{Workload: n, Steps: *steps, Faults: *faults})
@@ -74,11 +117,18 @@ func main() {
 			seed := *seedBase + int64(i)
 			res, err := chaos.Run(seed, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mvstress: FAIL workload=%s smp=%v seed=%d: %v\n",
-					cfg.Workload, cfg.SMP, seed, err)
-				fmt.Fprintf(os.Stderr, "mvstress: reproduce with: mvstress -seeds 1 -seed-base %d -workload %s -smp=%v -steps %d -faults %d\n",
-					seed, cfg.Workload, cfg.SMP, *steps, *faults)
-				writeArtifact(failure{Seed: seed, Config: cfg, Error: err.Error()})
+				if cfg.Concurrent {
+					fmt.Fprintf(os.Stderr, "mvstress: FAIL workload=%s mode=%s cpus=%d seed=%d quanta=%v: %v\n",
+						cfg.Workload, cfg.Mode, cfg.CPUs, seed, res.Quanta, err)
+					fmt.Fprintf(os.Stderr, "mvstress: reproduce with: mvstress -seeds 1 -seed-base %d -workload %s -concurrent -cpus %d -mode %s -steps %d -faults %d\n",
+						seed, cfg.Workload, cfg.CPUs, cfg.Mode, *steps, *faults)
+				} else {
+					fmt.Fprintf(os.Stderr, "mvstress: FAIL workload=%s smp=%v seed=%d: %v\n",
+						cfg.Workload, cfg.SMP, seed, err)
+					fmt.Fprintf(os.Stderr, "mvstress: reproduce with: mvstress -seeds 1 -seed-base %d -workload %s -smp=%v -steps %d -faults %d\n",
+						seed, cfg.Workload, cfg.SMP, *steps, *faults)
+				}
+				writeArtifact(failure{Seed: seed, Config: cfg, Quanta: res.Quanta, Error: err.Error()})
 				os.Exit(1)
 			}
 			runs++
@@ -86,8 +136,13 @@ func main() {
 			retries += res.Retries
 			fired += res.FaultsFired
 			if *verbose {
-				fmt.Printf("workload=%s smp=%v seed=%d ops=%d aborts=%d retries=%d flush-fixes=%d faults=%d checks=%d\n",
-					cfg.Workload, cfg.SMP, seed, res.Ops, res.Aborts, res.Retries, res.FlushFixes, res.FaultsFired, res.Checks)
+				if cfg.Concurrent {
+					fmt.Printf("workload=%s mode=%s cpus=%d seed=%d quanta=%v ops=%d aborts=%d traps=%d deferred=%d faults=%d checks=%d\n",
+						cfg.Workload, cfg.Mode, cfg.CPUs, seed, res.Quanta, res.Ops, res.Aborts, res.Traps, res.Deferred, res.FaultsFired, res.Checks)
+				} else {
+					fmt.Printf("workload=%s smp=%v seed=%d ops=%d aborts=%d retries=%d flush-fixes=%d faults=%d checks=%d\n",
+						cfg.Workload, cfg.SMP, seed, res.Ops, res.Aborts, res.Retries, res.FlushFixes, res.FaultsFired, res.Checks)
+				}
 			}
 		}
 	}

@@ -46,6 +46,22 @@ type Config struct {
 	// SMP adds a second hardware thread that executes workload code
 	// between runtime operations, exercising cross-CPU shootdowns.
 	SMP bool
+	// Concurrent switches Run to the cross-modifying-commit property
+	// run (concurrent.go): runtime operations land mid-execution,
+	// between interleave quanta of running workload CPUs, under
+	// ModeStopMachine or ModeTextPoke with activeness deferral. SMP is
+	// ignored in this mode; use CPUs.
+	Concurrent bool
+	// CPUs is the hardware thread count in concurrent mode (1 or 2;
+	// default 1).
+	CPUs int `json:",omitempty"`
+	// Mode selects the concurrent commit mode: "stop" (stop-machine
+	// rendezvous) or "poke" (BRK text-poke protocol). Default "stop".
+	Mode string `json:",omitempty"`
+	// Quanta pins the per-CPU interleave quanta in concurrent mode;
+	// when empty they derive from the seed. Result records the
+	// effective value so failing-seed artifacts capture the schedule.
+	Quanta []int `json:",omitempty"`
 }
 
 // Result summarizes one run.
@@ -57,6 +73,9 @@ type Result struct {
 	FlushFixes  int    // dropped shootdowns caught and re-broadcast
 	FaultsFired uint64 // fault points that actually fired
 	Checks      int    // semantic model checks that passed
+	Quanta      []int  `json:",omitempty"` // effective per-CPU interleave quanta (concurrent mode)
+	Traps       uint64 // BRK traps taken by workload CPUs inside poke windows
+	Deferred    int    // rebindings deferred by the activeness check
 }
 
 // maxCallSteps bounds any single guest call during chaos runs.
@@ -72,6 +91,9 @@ func Run(seed int64, cfg Config) (res Result, err error) {
 	}
 	if cfg.Faults <= 0 {
 		cfg.Faults = 6
+	}
+	if cfg.Concurrent {
+		return runConcurrent(seed, cfg)
 	}
 	res = Result{Seed: seed}
 
@@ -241,6 +263,20 @@ type workload interface {
 	// check runs the workload on the primary CPU and compares the
 	// observable state against a host-side model.
 	check(m *machine.Machine, rng *rand.Rand) error
+	// startWorker points an idle CPU at this workload's concurrent
+	// worker loop for hardware thread idx, updating any host-side
+	// model that tracks the call's completed effects (concurrent
+	// workers always run to halt before the next check reads state).
+	startWorker(m *machine.Machine, c *cpu.CPU, idx int, rng *rand.Rand) error
+	// rescue normalizes cross-function protocol state (lock words,
+	// preemption counters) that a mid-critical-section rebinding can
+	// legally corrupt: stack activeness defers patches to functions a
+	// CPU is inside, but it cannot see that a lock acquired through a
+	// real variant is still waiting for its matching unlock when the
+	// unlock function itself is idle and gets rebound to the elided
+	// variant. The concurrent harness plays the operator and resets
+	// those protocol words at quiescent points before semantic checks.
+	rescue(m *machine.Machine) error
 }
 
 func buildWorkload(name string) (workload, error) {
@@ -298,6 +334,28 @@ func (w *e1Workload) mutate(rng *rand.Rand, rt *core.Runtime) (bool, error) {
 
 func (w *e1Workload) startSecondary(m *machine.Machine, c *cpu.CPU, rng *rand.Rand) error {
 	return m.StartCall(c, "bench_spin", uint64(10+rng.Intn(40)))
+}
+
+// startWorker runs the contended lock/unlock loop on every hardware
+// thread — with the real SMP variant bound, both CPUs fight over
+// lock_word, which is exactly the traffic a cross-modifying commit
+// must survive.
+func (w *e1Workload) startWorker(m *machine.Machine, c *cpu.CPU, idx int, rng *rand.Rand) error {
+	return m.StartCall(c, "bench_spin", uint64(5+rng.Intn(30)))
+}
+
+// rescue force-releases lock_word and rebalances preempt_count: a
+// rebinding that lands between a real spin_lock and its matching
+// spin_unlock leaks the word (the elided unlock never stores 0), and
+// two CPUs running the non-atomic preempt_count++/-- race lose
+// updates. Both are protocol-level effects of mixed bindings, not
+// text-integrity violations, so the harness resets them at quiescent
+// points the way an operator would.
+func (w *e1Workload) rescue(m *machine.Machine) error {
+	if err := m.WriteGlobal("lock_word", 8, 0); err != nil {
+		return err
+	}
+	return m.WriteGlobal("preempt_count", 8, 0)
 }
 
 // check runs the lock/unlock loop to completion and asserts the
@@ -369,6 +427,40 @@ func (w *e4Workload) mutate(rng *rand.Rand, rt *core.Runtime) (bool, error) {
 // binding per critical section.
 func (w *e4Workload) startSecondary(m *machine.Machine, c *cpu.CPU, rng *rand.Rand) error {
 	return m.StartCall(c, "bench_baseline", uint64(50+rng.Intn(200)))
+}
+
+// startWorker gives each hardware thread a disjoint slice of libc so
+// the host models stay exact under interleaving: thread 0 draws from
+// the LCG (check reseeds it, so partial progress is absorbed), thread
+// 1 drives the buffered stream, whose position model advances here —
+// the call always completes before the next check reads the globals.
+func (w *e4Workload) startWorker(m *machine.Machine, c *cpu.CPU, idx int, rng *rand.Rand) error {
+	if idx == 0 {
+		return m.StartCall(c, "bench_random", uint64(10+rng.Intn(50)))
+	}
+	k := uint64(50 + rng.Intn(300))
+	if err := m.StartCall(c, "bench_fputc", k); err != nil {
+		return err
+	}
+	for i := uint64(0); i < k; i++ {
+		w.fpos++
+		if w.fpos == 4096 {
+			w.flushed += w.fpos
+			w.fpos = 0
+		}
+	}
+	return nil
+}
+
+// rescue force-releases the three musl lock words that a rebinding
+// between a real __lock and its matching elided __unlock can leak.
+func (w *e4Workload) rescue(m *machine.Machine) error {
+	for _, g := range []string{"rand_lock", "file_lock", "malloc_lock"} {
+		if err := m.WriteGlobal(g, 8, 0); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 const (

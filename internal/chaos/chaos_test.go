@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -64,7 +65,7 @@ func TestChaosRunIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
 	}
 }

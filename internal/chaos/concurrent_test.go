@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// concurrentSeeds returns the per-configuration seed count for the
+// concurrent property sweeps; CI's mvstress matrix runs the deep
+// (≥200 seed) version of the same configurations.
+func concurrentSeeds(t *testing.T) int64 {
+	if testing.Short() {
+		return 3
+	}
+	return 12
+}
+
+func sweepConcurrent(t *testing.T, cfg Config) {
+	t.Helper()
+	cfg.Concurrent = true
+	n := concurrentSeeds(t)
+	var fired, traps uint64
+	var aborts, deferred int
+	for seed := int64(1); seed <= n; seed++ {
+		res, err := Run(seed, cfg)
+		if err != nil {
+			t.Fatalf("concurrent chaos run failed: %v", err)
+		}
+		if len(res.Quanta) != cfg.CPUs {
+			t.Fatalf("seed %d: %d quanta recorded for %d CPUs", seed, len(res.Quanta), cfg.CPUs)
+		}
+		fired += res.FaultsFired
+		traps += res.Traps
+		aborts += res.Aborts
+		deferred += res.Deferred
+	}
+	if fired == 0 {
+		t.Fatalf("no fault points fired across %d seeds — injector not exercised", n)
+	}
+	t.Logf("%d seeds: %d faults fired, %d aborts, %d traps, %d deferred",
+		n, fired, aborts, traps, deferred)
+}
+
+func TestConcurrentE1Stop1CPU(t *testing.T) {
+	sweepConcurrent(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 1, Mode: "stop"})
+}
+
+func TestConcurrentE1Stop2CPU(t *testing.T) {
+	sweepConcurrent(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 2, Mode: "stop"})
+}
+
+func TestConcurrentE1Poke1CPU(t *testing.T) {
+	sweepConcurrent(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 1, Mode: "poke"})
+}
+
+func TestConcurrentE1Poke2CPU(t *testing.T) {
+	sweepConcurrent(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 2, Mode: "poke"})
+}
+
+func TestConcurrentE4Stop2CPU(t *testing.T) {
+	sweepConcurrent(t, Config{Workload: "e4", Steps: 25, Faults: 6, CPUs: 2, Mode: "stop"})
+}
+
+func TestConcurrentE4Poke2CPU(t *testing.T) {
+	sweepConcurrent(t, Config{Workload: "e4", Steps: 25, Faults: 6, CPUs: 2, Mode: "poke"})
+}
+
+// TestConcurrentDeterministic: same seed, same config — bit-identical
+// Result, including the derived quanta and trap counts.
+func TestConcurrentDeterministic(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 20, Faults: 5, Concurrent: true, CPUs: 2, Mode: "poke"}
+	a, err := Run(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestConcurrentPinnedQuanta: an artifact's recorded quanta replay the
+// exact schedule when passed back through Config.Quanta.
+func TestConcurrentPinnedQuanta(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 15, Faults: 5, Concurrent: true, CPUs: 2, Mode: "stop"}
+	a, err := Run(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Quanta = a.Quanta
+	b, err := Run(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("pinned quanta diverged from the derived schedule:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConcurrentRejectsUnknownMode(t *testing.T) {
+	if _, err := Run(1, Config{Workload: "e1", Concurrent: true, Mode: "yolo"}); err == nil {
+		t.Fatal("unknown concurrent mode accepted")
+	}
+}

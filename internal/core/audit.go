@@ -118,6 +118,10 @@ func (rt *Runtime) auditSiteCode(st *siteState, buf []byte, targets map[uint64]b
 			return fmt.Errorf("core: audit: site %#x inline payload undecodable at +%d: %w", st.desc.Addr, n, err)
 		}
 		switch in.Op {
+		case isa.BRK:
+			// The text-poke protocol plants BRK transiently; a completed
+			// (or rolled-back) operation must never leave one behind.
+			return fmt.Errorf("core: audit: site %#x holds a residual BRK byte at +%d", st.desc.Addr, n)
 		case isa.CALL, isa.CLLR, isa.CLLM, isa.JMP, isa.JCC, isa.RET, isa.HLT:
 			return fmt.Errorf("core: audit: site %#x inline payload contains control flow (%v)", st.desc.Addr, in.Op)
 		}
@@ -136,6 +140,9 @@ func auditPadding(site uint64, buf []byte) error {
 		in, err := isa.Decode(buf[n:])
 		if err != nil {
 			return fmt.Errorf("core: audit: site %#x padding undecodable at +%d: %w", site, n, err)
+		}
+		if in.Op == isa.BRK {
+			return fmt.Errorf("core: audit: site %#x padding holds a residual BRK byte at +%d", site, n)
 		}
 		if in.Op != isa.NOP && in.Op != isa.NOPN {
 			return fmt.Errorf("core: audit: site %#x padding holds %v, want nop", site, in.Op)

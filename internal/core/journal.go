@@ -96,14 +96,25 @@ func (rt *Runtime) snapshotProt(addr uint64) (mem.Prot, bool) {
 	return 0, false
 }
 
-// writeText performs one journaled text write with bounded
+// writeText performs one journaled text write, dispatching on the
+// commit mode: in ModeTextPoke a multi-byte rewrite goes through the
+// breakpoint protocol (pokeWrite, sync.go) so CPUs racing the write
+// never decode a torn instruction; everything else writes directly.
+func (rt *Runtime) writeText(addr uint64, old, data []byte) error {
+	if rt.Options.Mode == ModeTextPoke && len(data) > 1 && len(old) == len(data) {
+		return rt.pokeWrite(addr, old, data)
+	}
+	return rt.writeTextDirect(addr, old, data)
+}
+
+// writeTextDirect performs one journaled text write with bounded
 // retry-with-backoff. old must hold the current content of the range
 // (the caller has just read and verified it). On a transient fault the
 // range is repaired to its journaled state and the write retried after
 // charging backoff cycles; a persistent fault or exhausted retries
 // return the error with the torn state still in place — the
 // transaction's rollback repairs it.
-func (rt *Runtime) writeText(addr uint64, old, data []byte) error {
+func (rt *Runtime) writeTextDirect(addr uint64, old, data []byte) error {
 	e := journalEntry{addr: addr, old: append([]byte(nil), old...)}
 	e.prot, e.hasProt = rt.snapshotProt(addr)
 	if rt.tx != nil {

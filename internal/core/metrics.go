@@ -71,6 +71,7 @@ type MVMetrics struct {
 
 	commitLatency *metrics.Histogram
 	commitSites   *metrics.Histogram
+	rendezvous    *metrics.Histogram
 
 	res *residencyTracker
 }
@@ -124,6 +125,8 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 			stat(func(s machineStats) uint64 { return s.cpu.Stores })},
 		{"mv_interrupts_total", "Asynchronous interrupts serviced.",
 			stat(func(s machineStats) uint64 { return s.cpu.Interrupts })},
+		{"mv_traps_total", "BRK breakpoint traps taken (text-poke windows).",
+			stat(func(s machineStats) uint64 { return s.cpu.Traps })},
 		{"mv_icache_fills_total", "Instruction-cache line fills.",
 			stat(func(s machineStats) uint64 { return s.cpu.ICacheFills })},
 		{"mv_decode_hits_total", "Instructions dispatched from the predecoded cache.",
@@ -206,6 +209,16 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 			rstat(func(s RuntimeStats) uint64 { return uint64(s.SitesRolledBack) })},
 		{"mv_flush_retries_total", "Icache shootdowns re-broadcast after stale-line verification.",
 			rstat(func(s RuntimeStats) uint64 { return uint64(s.FlushRetries) })},
+		{"mv_stop_machines_total", "Stop-machine rendezvous run for guarded operations.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.StopMachines) })},
+		{"mv_text_pokes_total", "Multi-byte text writes done via the BRK poke protocol.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.TextPokes) })},
+		{"mv_deferred_patches_total", "Operations queued because the target function was active.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.DeferredPatches) })},
+		{"mv_deferred_drained_total", "Queued operations applied by DrainDeferred.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.DeferredDrained) })},
+		{"mv_active_refusals_total", "Operations refused because the function was active.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.ActiveRefusals) })},
 	} {
 		reg.CounterFunc(c.name, c.help, c.read)
 	}
@@ -217,6 +230,8 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 			"Modeled latency of one commit span in cycles (begin to end across all patched sites)."),
 		commitSites: reg.Histogram("mv_commit_sites",
 			"Sites touched (patched, inlined or reverted) per commit span."),
+		rendezvous: reg.Histogram("mv_rendezvous_latency_cycles",
+			"Cycles spent herding CPUs to safe points per stop-machine rendezvous."),
 	}
 	mm.res = newResidencyTracker(reg, mm.clock)
 	// Every function starts on its generic implementation.
@@ -263,6 +278,15 @@ func (mm *MVMetrics) beginCommit(rt *Runtime) func() {
 		mm.commitLatency.Observe(latency)
 		mm.commitSites.Observe(sites)
 	}
+}
+
+// observeRendezvous records the herding latency of one stop-machine
+// rendezvous. Nil-receiver safe.
+func (mm *MVMetrics) observeRendezvous(latency uint64) {
+	if mm == nil {
+		return
+	}
+	mm.rendezvous.Observe(latency)
 }
 
 // noteBinding records a function switching to a new variant (nil for

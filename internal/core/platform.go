@@ -148,6 +148,20 @@ func (p *UserPlatform) AdvanceCycles(n uint64) { p.M.CPU.AddCycles(n) }
 // ICacheStale implements FlushVerifier.
 func (p *UserPlatform) ICacheStale(addr, n uint64) bool { return p.M.ICacheStale(addr, n) }
 
+// LiveCodeAddrs implements Activeness: every PC plus the conservative
+// stack return-address scan of each non-halted hardware thread.
+func (p *UserPlatform) LiveCodeAddrs() []uint64 { return p.M.LiveCodeAddrs() }
+
+// StopMachine implements Stopper.
+func (p *UserPlatform) StopMachine(avoid []machine.Range, fn func() error) (uint64, error) {
+	return p.M.StopMachine(avoid, fn)
+}
+
+// NotePokePhase implements PokeAnnouncer.
+func (p *UserPlatform) NotePokePhase(phase int, addr, n uint64) {
+	p.M.NotePokePhase(phase, addr, n)
+}
+
 // KernelPlatform patches like kernel code: straight through the
 // physical mapping, no protection flips, but still an icache flush.
 type KernelPlatform struct {
@@ -198,3 +212,16 @@ func (p *KernelPlatform) AdvanceCycles(n uint64) { p.M.CPU.AddCycles(n) }
 
 // ICacheStale implements FlushVerifier.
 func (p *KernelPlatform) ICacheStale(addr, n uint64) bool { return p.M.ICacheStale(addr, n) }
+
+// LiveCodeAddrs implements Activeness.
+func (p *KernelPlatform) LiveCodeAddrs() []uint64 { return p.M.LiveCodeAddrs() }
+
+// StopMachine implements Stopper.
+func (p *KernelPlatform) StopMachine(avoid []machine.Range, fn func() error) (uint64, error) {
+	return p.M.StopMachine(avoid, fn)
+}
+
+// NotePokePhase implements PokeAnnouncer.
+func (p *KernelPlatform) NotePokePhase(phase int, addr, n uint64) {
+	p.M.NotePokePhase(phase, addr, n)
+}

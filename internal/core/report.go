@@ -74,6 +74,12 @@ func (rt *Runtime) StateReport() string {
 		fmt.Fprintf(&sb, "txn  aborts=%d retries=%d sites-rolled-back=%d flush-retries=%d\n",
 			s.CommitAborts, s.CommitRetries, s.SitesRolledBack, s.FlushRetries)
 	}
+	// Same gating for the SMP-safety counters: ModeParked runs (and
+	// their golden tests) never print this line.
+	if s.StopMachines+s.TextPokes+s.DeferredPatches+s.DeferredDrained+s.ActiveRefusals > 0 {
+		fmt.Fprintf(&sb, "sync stop-machines=%d text-pokes=%d deferred{queued=%d drained=%d} active-refusals=%d\n",
+			s.StopMachines, s.TextPokes, s.DeferredPatches, s.DeferredDrained, s.ActiveRefusals)
+	}
 	if ms, ok := rt.plat.(MemStatser); ok {
 		m := ms.MemStats()
 		fmt.Fprintf(&sb, "mem  protect-calls=%d icache-flushes=%d\n", m.ProtectCalls, m.Flushes)

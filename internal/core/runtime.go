@@ -14,8 +14,11 @@ import (
 // decodes the descriptors of a loaded image and installs or removes
 // function variants by patching call sites and generic prologues.
 //
-// Like the paper's library it performs no synchronization; the caller
-// decides when the program is in a patchable state (§2).
+// Like the paper's library it performs no synchronization by default;
+// the caller decides when the program is in a patchable state (§2).
+// SetCommitOptions can opt into SMP-safe modes (stop-machine
+// rendezvous or the BRK text-poke protocol, see sync.go) when other
+// CPUs keep running during commits.
 type Runtime struct {
 	plat Platform
 	desc *Descriptors
@@ -31,6 +34,16 @@ type Runtime struct {
 	// tx is the open transaction, if any; see journal.go. Public
 	// operations open one, nested helpers join it.
 	tx *txn
+
+	// Options selects the commit concurrency mode and the activeness
+	// policy (sync.go); the zero value is the legacy parked contract.
+	Options CommitOptions
+
+	// deferredKind/deferredOrder queue operations postponed because
+	// the target function was active on a CPU stack (ActiveDefer);
+	// DrainDeferred applies them at the next quiescent point.
+	deferredKind  map[*funcState]pendingKind
+	deferredOrder []*funcState
 
 	// Stats accumulates patching work across all commits.
 	Stats RuntimeStats
@@ -71,6 +84,13 @@ type RuntimeStats struct {
 	CommitRetries   int // text writes retried after a transient fault
 	SitesRolledBack int // journal entries restored during aborts
 	FlushRetries    int // icache shootdowns re-broadcast after verification
+
+	// Concurrency counters (sync.go). Zero in ModeParked.
+	StopMachines    int // stop-machine rendezvous run for guarded operations
+	TextPokes       int // multi-byte text writes done via the BRK protocol
+	DeferredPatches int // operations queued because the function was active
+	DeferredDrained int // queued operations applied by DrainDeferred
+	ActiveRefusals  int // operations refused with ErrFunctionActive
 }
 
 type siteState struct {
@@ -457,23 +477,38 @@ func (rt *Runtime) restorePrologue(fs *funcState) error {
 }
 
 // commitFunc binds one function to the variant matching the current
-// switch values. It reports whether a specialized variant was
-// installed; false means the generic function remains active (the
-// situation Figure 3d signals to the user).
-func (rt *Runtime) commitFunc(fs *funcState) (bool, error) {
+// switch values. bindBound means a specialized variant was installed;
+// bindGeneric that the generic function remains active (the situation
+// Figure 3d signals to the user); bindDeferred that the function was
+// live on a CPU stack and the rebinding was queued for DrainDeferred.
+func (rt *Runtime) commitFunc(fs *funcState) (bindStatus, error) {
 	v, err := rt.selectVariant(fs.fd)
 	if err != nil {
-		return false, err
+		return bindGeneric, err
 	}
 	if v == nil {
 		rt.Stats.GenericSignals++
-		if err := rt.revertFunc(fs); err != nil {
-			return false, err
+		if fs.committed != nil {
+			// Falling back to generic tears down live patches, which is
+			// only safe when the committed variant is not executing.
+			if deferred, err := rt.checkActive(fs, pendingCommit); err != nil {
+				return bindGeneric, err
+			} else if deferred {
+				return bindDeferred, nil
+			}
 		}
-		return false, nil
+		if err := rt.revertFunc(fs); err != nil {
+			return bindGeneric, err
+		}
+		return bindGeneric, nil
 	}
 	if fs.committed == v {
-		return true, nil
+		return bindBound, nil
+	}
+	if deferred, err := rt.checkActive(fs, pendingCommit); err != nil {
+		return bindGeneric, err
+	} else if deferred {
+		return bindDeferred, nil
 	}
 	prev := fs.committed
 	rt.metrics.noteBinding(fs.fd, v)
@@ -482,17 +517,31 @@ func (rt *Runtime) commitFunc(fs *funcState) (bool, error) {
 	// with respect to the saved originals.
 	if rt.PrologueOnly {
 		if err := rt.revertSitesFor(fs.fd.Generic); err != nil {
-			return false, err
+			return bindGeneric, err
 		}
 	} else if err := rt.installAtSites(fs, v); err != nil {
-		return false, err
+		return bindGeneric, err
 	}
 	if err := rt.patchPrologue(fs, v); err != nil {
-		return false, err
+		return bindGeneric, err
 	}
 	rt.noteUndo(func() { fs.committed = prev })
 	fs.committed = v
-	return true, nil
+	return bindBound, nil
+}
+
+// revertFuncChecked applies the activeness policy before reverting: a
+// function whose committed variant is still executing (or awaiting
+// return) cannot have its binding torn down underneath it.
+func (rt *Runtime) revertFuncChecked(fs *funcState) (bindStatus, error) {
+	if fs.committed != nil {
+		if deferred, err := rt.checkActive(fs, pendingRevert); err != nil {
+			return bindGeneric, err
+		} else if deferred {
+			return bindDeferred, nil
+		}
+	}
+	return bindGeneric, rt.revertFunc(fs)
 }
 
 func (rt *Runtime) revertFunc(fs *funcState) error {
@@ -596,6 +645,7 @@ func (rt *Runtime) readPointer(addr uint64) (uint64, error) {
 type CommitResult struct {
 	Committed int // functions / pointers bound to a variant
 	Generic   int // functions left on their generic implementation
+	Deferred  int // rebindings queued because the function was active
 }
 
 // emitSwitchValues records the current value of every configuration
@@ -637,15 +687,18 @@ func (rt *Runtime) Commit() (CommitResult, error) {
 		}()
 	}
 	t := rt.beginTxn()
-	err := func() error {
+	err := rt.runGuarded(func() error {
 		for _, fs := range rt.funcs {
-			ok, err := rt.commitFunc(fs)
+			st, err := rt.commitFunc(fs)
 			if err != nil {
 				return err
 			}
-			if ok {
+			switch st {
+			case bindBound:
 				res.Committed++
-			} else {
+			case bindDeferred:
+				res.Deferred++
+			default:
 				res.Generic++
 			}
 		}
@@ -661,7 +714,7 @@ func (rt *Runtime) Commit() (CommitResult, error) {
 			}
 		}
 		return nil
-	}()
+	})
 	if err = rt.endTxn(t, err); err != nil {
 		res = CommitResult{}
 		return res, err
@@ -683,14 +736,17 @@ func (rt *Runtime) Revert() error {
 	var errs []error
 	for _, fs := range rt.funcs {
 		t := rt.beginTxn()
-		err := rt.endTxn(t, rt.revertFunc(fs))
+		err := rt.endTxn(t, rt.runGuarded(func() error {
+			_, err := rt.revertFuncChecked(fs)
+			return err
+		}))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("core: reverting %q: %w", fs.fd.Name, err))
 		}
 	}
 	for _, ps := range rt.ptrOrder {
 		t := rt.beginTxn()
-		err := rt.endTxn(t, rt.revertFnPtr(ps))
+		err := rt.endTxn(t, rt.runGuarded(func() error { return rt.revertFnPtr(ps) }))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("core: reverting switch %q: %w", ps.vd.Name, err))
 		}
@@ -709,28 +765,33 @@ func (rt *Runtime) CommitFunc(generic uint64) (bool, error) {
 	if end := rt.metrics.beginCommit(rt); end != nil {
 		defer end()
 	}
-	if rt.Tracer == nil {
+	commit := func() (bindStatus, error) {
 		t := rt.beginTxn()
-		bound, err := rt.commitFunc(fs)
+		var st bindStatus
+		err := rt.runGuarded(func() error {
+			var err error
+			st, err = rt.commitFunc(fs)
+			return err
+		})
 		if err = rt.endTxn(t, err); err != nil {
-			return false, err
+			st = bindGeneric
 		}
-		return bound, nil
+		return st, err
+	}
+	if rt.Tracer == nil {
+		st, err := commit()
+		return st == bindBound, err
 	}
 	rt.Tracer.EmitName(trace.KindCommitBegin, generic, 0, 0, fs.fd.Name)
-	t := rt.beginTxn()
-	bound, err := rt.commitFunc(fs)
-	if err = rt.endTxn(t, err); err != nil {
-		bound = false
-	}
+	st, err := commit()
 	var nc, ng uint64
-	if bound {
+	if st == bindBound {
 		nc = 1
-	} else if err == nil {
+	} else if err == nil && st == bindGeneric {
 		ng = 1
 	}
 	rt.Tracer.EmitName(trace.KindCommitEnd, generic, nc, ng, fs.fd.Name)
-	return bound, err
+	return st == bindBound, err
 }
 
 // RevertFunc reverts a single function (Table 1: multiverse_revert_func).
@@ -745,7 +806,10 @@ func (rt *Runtime) RevertFunc(generic uint64) error {
 		defer rt.Tracer.EmitName(trace.KindRevertEnd, generic, 0, 0, fs.fd.Name)
 	}
 	t := rt.beginTxn()
-	return rt.endTxn(t, rt.revertFunc(fs))
+	return rt.endTxn(t, rt.runGuarded(func() error {
+		_, err := rt.revertFuncChecked(fs)
+		return err
+	}))
 }
 
 // refersTo reports whether any variant of fd guards on the switch.
@@ -781,7 +845,7 @@ func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 		}
 	}
 	t := rt.beginTxn()
-	err := func() error {
+	err := rt.runGuarded(func() error {
 		if ps, ok := rt.fnptrs[varAddr]; ok {
 			ok2, err := rt.commitFnPtr(ps)
 			if err != nil {
@@ -798,18 +862,21 @@ func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 			if !refersTo(fs.fd, varAddr) {
 				continue
 			}
-			ok, err := rt.commitFunc(fs)
+			st, err := rt.commitFunc(fs)
 			if err != nil {
 				return err
 			}
-			if ok {
+			switch st {
+			case bindBound:
 				res.Committed++
-			} else {
+			case bindDeferred:
+				res.Deferred++
+			default:
 				res.Generic++
 			}
 		}
 		return nil
-	}()
+	})
 	if err = rt.endTxn(t, err); err != nil {
 		res = CommitResult{}
 		return res, err
@@ -827,7 +894,7 @@ func (rt *Runtime) RevertRefs(varAddr uint64) error {
 	}
 	if ps, ok := rt.fnptrs[varAddr]; ok {
 		t := rt.beginTxn()
-		return rt.endTxn(t, rt.revertFnPtr(ps))
+		return rt.endTxn(t, rt.runGuarded(func() error { return rt.revertFnPtr(ps) }))
 	}
 	if _, known := rt.varsByAddr[varAddr]; !known {
 		return fmt.Errorf("core: %#x is not a configuration switch", varAddr)
@@ -840,7 +907,11 @@ func (rt *Runtime) RevertRefs(varAddr uint64) error {
 			continue
 		}
 		t := rt.beginTxn()
-		if err := rt.endTxn(t, rt.revertFunc(fs)); err != nil {
+		err := rt.endTxn(t, rt.runGuarded(func() error {
+			_, err := rt.revertFuncChecked(fs)
+			return err
+		}))
+		if err != nil {
 			errs = append(errs, fmt.Errorf("core: reverting %q: %w", fs.fd.Name, err))
 		}
 	}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// This file adds SMP-safe commit modes to the runtime library. The
+// legacy contract (paper §2: "the caller decides when the program is
+// in a patchable state") survives as ModeParked; the two new modes
+// make commits safe while other CPUs execute:
+//
+//   - ModeStopMachine quiesces every CPU at an instruction boundary
+//     outside all patchable ranges before any byte changes — the
+//     kernel's stop_machine.
+//   - ModeTextPoke rewrites multi-byte sites with the breakpoint
+//     protocol (BRK first byte, tail, first byte; flush + acknowledge
+//     between phases) so a racing CPU either decodes the old
+//     instruction whole or traps resumably — the kernel's
+//     text_poke_bp.
+//
+// Orthogonally, an activeness check refuses (or defers) rebinding a
+// function whose currently-committed code is live on some CPU's stack
+// — the stack check of kernel livepatch.
+
+// CommitMode selects how commits synchronize with concurrently
+// executing CPUs.
+type CommitMode int
+
+const (
+	// ModeParked is the legacy contract: the caller guarantees no CPU
+	// executes near patched text. No rendezvous, no poke protocol —
+	// byte- and cycle-identical to the pre-SMP runtime.
+	ModeParked CommitMode = iota
+	// ModeStopMachine quiesces all CPUs outside the patch ranges for
+	// the duration of each operation.
+	ModeStopMachine
+	// ModeTextPoke leaves CPUs running and rewrites text with the
+	// breakpoint protocol.
+	ModeTextPoke
+)
+
+// String names the mode (flag values of mvstress -mode).
+func (m CommitMode) String() string {
+	switch m {
+	case ModeParked:
+		return "parked"
+	case ModeStopMachine:
+		return "stop"
+	case ModeTextPoke:
+		return "poke"
+	}
+	return fmt.Sprintf("mode%d", int(m))
+}
+
+// OnActivePolicy decides what a commit does when the activeness check
+// finds the function live on a CPU stack.
+type OnActivePolicy int
+
+const (
+	// ActiveRefuse fails the operation with ErrFunctionActive (the
+	// transaction rolls back anything already patched).
+	ActiveRefuse OnActivePolicy = iota
+	// ActiveDefer queues the operation; DrainDeferred applies it at the
+	// next quiescent point.
+	ActiveDefer
+)
+
+// CommitOptions configures the concurrency behavior of every
+// subsequent commit/revert operation.
+type CommitOptions struct {
+	Mode     CommitMode
+	OnActive OnActivePolicy
+}
+
+// SetCommitOptions installs the commit concurrency options. The zero
+// value (ModeParked, ActiveRefuse) restores legacy behavior.
+func (rt *Runtime) SetCommitOptions(o CommitOptions) { rt.Options = o }
+
+// ErrFunctionActive is returned (wrapped) when a commit or revert is
+// refused because the function's currently-committed code is live on
+// some CPU's stack and the policy is ActiveRefuse.
+var ErrFunctionActive = errors.New("core: function is active on a CPU stack")
+
+// Activeness is implemented by platforms that can enumerate the code
+// addresses currently live on any CPU (PCs plus conservative stack
+// return-address scans). Without it the activeness check is skipped.
+type Activeness interface {
+	LiveCodeAddrs() []uint64
+}
+
+// Stopper is implemented by platforms that can run a stop-machine
+// rendezvous: quiesce every CPU outside the avoid ranges, run fn, and
+// report the rendezvous latency in cycles.
+type Stopper interface {
+	StopMachine(avoid []machine.Range, fn func() error) (uint64, error)
+}
+
+// PokeAnnouncer is implemented by platforms that forward text-poke
+// phase transitions to machine-level hooks (chaos harnesses and fault
+// injectors listen there).
+type PokeAnnouncer interface {
+	NotePokePhase(phase int, addr, n uint64)
+}
+
+// runGuarded runs body under the configured synchronization: a
+// stop-machine rendezvous in ModeStopMachine (when the platform can),
+// plainly otherwise. It is the wrapper every public operation's
+// transaction body goes through.
+func (rt *Runtime) runGuarded(body func() error) error {
+	if rt.Options.Mode != ModeStopMachine {
+		return body()
+	}
+	sm, ok := rt.plat.(Stopper)
+	if !ok {
+		return body()
+	}
+	prs := rt.PatchRanges()
+	avoid := make([]machine.Range, len(prs))
+	for i, pr := range prs {
+		avoid[i] = machine.Range{Addr: pr.Addr, Len: pr.Len}
+	}
+	lat, err := sm.StopMachine(avoid, body)
+	rt.Stats.StopMachines++
+	rt.noteRendezvous(lat, uint64(len(avoid)))
+	return err
+}
+
+// noteRendezvous records one stop-machine rendezvous in the trace and
+// the latency histogram.
+func (rt *Runtime) noteRendezvous(latency, ranges uint64) {
+	if rt.Tracer != nil {
+		rt.Tracer.Emit(trace.KindRendezvous, 0, latency, ranges)
+	}
+	rt.metrics.observeRendezvous(latency)
+}
+
+// pokeWrite is the journaled breakpoint-protocol text write writeText
+// dispatches to in ModeTextPoke. Each phase is journaled separately,
+// so an abort at any point replays newest-first:
+//
+//	E3 undone -> BRK back over the first byte,
+//	E2 undone -> original tail back,
+//	E1 undone -> original first byte back,
+//
+// leaving the image byte-identical and BRK-free. Between phases the
+// icache shootdown is verified (flushAck): a CPU whose flush was
+// dropped must not carry its stale snapshot into the next phase, or a
+// later refill could hand it a spliced old/new hybrid.
+//
+// Before phase 1 the machine is herded so no PC sits strictly inside
+// the window, and any live return address interior to the window must
+// be an instruction boundary of both the old and the new content —
+// otherwise the poke is refused (the transaction aborts cleanly).
+func (rt *Runtime) pokeWrite(addr uint64, old, data []byte) error {
+	n := uint64(len(data))
+	if err := rt.pokeGuard(addr, old, data); err != nil {
+		return err
+	}
+	rt.Stats.TextPokes++
+	pa, _ := rt.plat.(PokeAnnouncer)
+	phase := func(ph int, a uint64, oldB, newB []byte) error {
+		if err := rt.writeTextDirect(a, oldB, newB); err != nil {
+			return err
+		}
+		rt.plat.FlushICache(a, uint64(len(newB)))
+		rt.flushAck(a, uint64(len(newB)))
+		if rt.Tracer != nil {
+			rt.Tracer.Emit(trace.KindPokePhase, addr, n, uint64(ph))
+		}
+		if pa != nil {
+			pa.NotePokePhase(ph, addr, n)
+		}
+		return nil
+	}
+	brk := []byte{byte(isa.BRK)}
+	if err := phase(1, addr, old[:1], brk); err != nil {
+		return err
+	}
+	if err := phase(2, addr+1, old[1:], data[1:]); err != nil {
+		return err
+	}
+	return phase(3, addr, brk, data[:1])
+}
+
+// pokeGuard establishes the poke protocol's precondition: no CPU may
+// be (or return) strictly inside the window at a point that is not an
+// instruction boundary of both the old and the new content. PCs are
+// herded out with a bounded rendezvous (the window's old content is
+// straight-line, so a few steps always exit it); an interior return
+// address that would land mid-instruction in the new content refuses
+// the poke.
+func (rt *Runtime) pokeGuard(addr uint64, old, data []byte) error {
+	n := uint64(len(data))
+	if sm, ok := rt.plat.(Stopper); ok {
+		lat, err := sm.StopMachine([]machine.Range{{Addr: addr + 1, Len: n - 1}}, func() error { return nil })
+		if err != nil {
+			return fmt.Errorf("core: herding CPUs out of poke window [%#x,%#x): %w", addr, addr+n, err)
+		}
+		rt.noteRendezvous(lat, 1)
+	}
+	la, ok := rt.plat.(Activeness)
+	if !ok {
+		return nil
+	}
+	oldB := instBoundaries(addr, old)
+	newB := instBoundaries(addr, data)
+	for _, a := range la.LiveCodeAddrs() {
+		if a > addr && a < addr+n && !(oldB[a] && newB[a]) {
+			return fmt.Errorf("core: live code address %#x inside poke window [%#x,%#x) is not a common instruction boundary",
+				a, addr, addr+n)
+		}
+	}
+	return nil
+}
+
+// instBoundaries returns the set of addresses at which an instruction
+// of code (loaded at base) begins. Undecodable bytes end the walk; the
+// partial set only ever makes the guard stricter.
+func instBoundaries(base uint64, code []byte) map[uint64]bool {
+	out := make(map[uint64]bool, len(code))
+	off := 0
+	for off < len(code) {
+		out[base+uint64(off)] = true
+		in, err := isa.Decode(code[off:])
+		if err != nil {
+			break
+		}
+		off += in.Len
+	}
+	return out
+}
+
+// flushAck re-broadcasts the shootdown for one range until no hardware
+// thread caches stale bytes — the per-phase acknowledge step of the
+// poke protocol (text_poke_sync's IPI wait).
+func (rt *Runtime) flushAck(addr, n uint64) {
+	fv, ok := rt.plat.(FlushVerifier)
+	if !ok {
+		return
+	}
+	for try := 0; try < maxFlushVerify && fv.ICacheStale(addr, n); try++ {
+		rt.Stats.FlushRetries++
+		rt.plat.FlushICache(addr, n)
+	}
+}
+
+// bindStatus is the tri-state outcome of one function commit.
+type bindStatus int
+
+const (
+	bindGeneric  bindStatus = iota // no variant matched; generic stays
+	bindBound                      // a variant was installed
+	bindDeferred                   // function active; operation queued
+)
+
+// pendingKind tags a deferred operation.
+type pendingKind int
+
+const (
+	pendingCommit pendingKind = iota
+	pendingRevert
+)
+
+// isActive reports whether fs's currently-running code — the committed
+// variant's body, or the generic body when none is committed — is live
+// on any CPU (PC or stack return address). Always false in ModeParked
+// (the legacy caller already guarantees quiescence) and on platforms
+// without an Activeness view.
+func (rt *Runtime) isActive(fs *funcState) bool {
+	if rt.Options.Mode == ModeParked {
+		return false
+	}
+	la, ok := rt.plat.(Activeness)
+	if !ok {
+		return false
+	}
+	lo, hi := fs.fd.Generic, fs.fd.Generic+uint64(fs.fd.Size)
+	if v := fs.committed; v != nil {
+		lo, hi = v.Addr, v.Addr+uint64(v.Size)
+	}
+	if hi == lo {
+		return false
+	}
+	for _, a := range la.LiveCodeAddrs() {
+		if a >= lo && a < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// deferOp queues (or re-tags) a deferred operation for fs. The queue
+// mutation is undo-registered: if the enclosing transaction aborts,
+// the queue returns to its pre-operation state.
+func (rt *Runtime) deferOp(fs *funcState, k pendingKind) {
+	if rt.deferredKind == nil {
+		rt.deferredKind = make(map[*funcState]pendingKind)
+	}
+	prev, had := rt.deferredKind[fs]
+	rt.noteUndo(func() {
+		if had {
+			rt.deferredKind[fs] = prev
+			return
+		}
+		delete(rt.deferredKind, fs)
+		for i := len(rt.deferredOrder) - 1; i >= 0; i-- {
+			if rt.deferredOrder[i] == fs {
+				rt.deferredOrder = append(rt.deferredOrder[:i], rt.deferredOrder[i+1:]...)
+				break
+			}
+		}
+	})
+	if !had {
+		rt.deferredOrder = append(rt.deferredOrder, fs)
+	}
+	rt.deferredKind[fs] = k
+	rt.Stats.DeferredPatches++
+	if rt.Tracer != nil {
+		op := uint64(1)
+		if k == pendingRevert {
+			op = 2
+		}
+		rt.Tracer.EmitName(trace.KindDeferred, fs.fd.Generic, op, 0, fs.fd.Name)
+	}
+}
+
+// DeferredCount returns how many functions have a queued deferred
+// operation.
+func (rt *Runtime) DeferredCount() int { return len(rt.deferredOrder) }
+
+// DrainDeferred applies every queued operation whose function is no
+// longer active, each in its own transaction, and returns how many
+// were applied. Still-active functions stay queued. Call it at
+// quiescent points (the chaos harness drains after parking its
+// workers). Errors are joined; a failed operation goes back on the
+// queue.
+func (rt *Runtime) DrainDeferred() (int, error) {
+	if len(rt.deferredOrder) == 0 {
+		return 0, nil
+	}
+	pend := append([]*funcState(nil), rt.deferredOrder...)
+	done := 0
+	var errs []error
+	for _, fs := range pend {
+		k, ok := rt.deferredKind[fs]
+		if !ok {
+			continue // a later operation already handled it
+		}
+		if rt.isActive(fs) {
+			continue
+		}
+		// Dequeue before running: the operation may legitimately re-defer.
+		delete(rt.deferredKind, fs)
+		for i, q := range rt.deferredOrder {
+			if q == fs {
+				rt.deferredOrder = append(rt.deferredOrder[:i], rt.deferredOrder[i+1:]...)
+				break
+			}
+		}
+		t := rt.beginTxn()
+		err := rt.runGuarded(func() error {
+			switch k {
+			case pendingCommit:
+				_, err := rt.commitFunc(fs)
+				return err
+			default:
+				return rt.revertFunc(fs)
+			}
+		})
+		if err = rt.endTxn(t, err); err != nil {
+			errs = append(errs, fmt.Errorf("core: draining deferred op for %q: %w", fs.fd.Name, err))
+			// Re-queue outside any transaction; no stats bump, it was
+			// already counted when first deferred.
+			if _, requeued := rt.deferredKind[fs]; !requeued {
+				rt.deferredKind[fs] = k
+				rt.deferredOrder = append(rt.deferredOrder, fs)
+			}
+			continue
+		}
+		// A stop-machine rendezvous inside the drain can step a CPU into
+		// the function, re-deferring the operation mid-drain; that one
+		// was postponed again, not applied.
+		if _, requeued := rt.deferredKind[fs]; requeued {
+			continue
+		}
+		done++
+		rt.Stats.DeferredDrained++
+	}
+	return done, errors.Join(errs...)
+}
+
+// checkActive runs the activeness policy for one function about to be
+// rebound or reverted. It returns (true, nil) when the operation was
+// deferred, (false, err) when refused, and (false, nil) when the
+// operation may proceed.
+func (rt *Runtime) checkActive(fs *funcState, k pendingKind) (bool, error) {
+	if !rt.isActive(fs) {
+		return false, nil
+	}
+	if rt.Options.OnActive == ActiveDefer {
+		rt.deferOp(fs, k)
+		return true, nil
+	}
+	rt.Stats.ActiveRefusals++
+	return false, fmt.Errorf("core: %q: %w", fs.fd.Name, ErrFunctionActive)
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// stepInto steps the system's primary CPU (after StartCall) until the
+// PC lands in [lo, hi), failing the test if it never does.
+func stepInto(t *testing.T, sys *System, lo, hi uint64) {
+	t.Helper()
+	c := sys.Machine.CPU
+	for i := 0; i < 100_000; i++ {
+		if pc := c.PC(); pc >= lo && pc < hi && !c.Halted() {
+			return
+		}
+		if c.Halted() {
+			t.Fatalf("CPU halted before reaching [%#x,%#x)", lo, hi)
+		}
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatalf("CPU never reached [%#x,%#x)", lo, hi)
+}
+
+// stepToHalt runs the primary CPU to the halt stub.
+func stepToHalt(t *testing.T, sys *System) {
+	t.Helper()
+	c := sys.Machine.CPU
+	for i := 0; i < 1_000_000 && !c.Halted(); i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Halted() {
+		t.Fatal("CPU did not halt")
+	}
+}
+
+// parkInCommittedVariant commits A=1,B=1, then starts foo on the
+// primary CPU and steps it until the PC is inside the committed
+// variant body of multi. Returns multi's funcState.
+func parkInCommittedVariant(t *testing.T, sys *System) *funcState {
+	t.Helper()
+	setAndCommit(t, sys, map[string]int64{"A": 1, "B": 1})
+	fs := sys.RT.byName["multi"]
+	if fs == nil || fs.committed == nil {
+		t.Fatal("multi not committed")
+	}
+	v := fs.committed
+	if err := sys.Machine.StartCall(sys.Machine.CPU, "foo"); err != nil {
+		t.Fatal(err)
+	}
+	stepInto(t, sys, v.Addr, v.Addr+uint64(v.Size))
+	return fs
+}
+
+// TestCommitRefusedWhileFunctionActive: with a CPU executing inside
+// the committed variant, a re-commit under ActiveRefuse must abort
+// with ErrFunctionActive, leave the binding untouched, and keep the
+// image audit-clean; after the CPU halts, the same commit succeeds.
+func TestCommitRefusedWhileFunctionActive(t *testing.T) {
+	sys := buildFig2(t)
+	fs := parkInCommittedVariant(t, sys)
+	was := fs.committed
+
+	sys.RT.SetCommitOptions(CommitOptions{Mode: ModeStopMachine, OnActive: ActiveRefuse})
+	if err := sys.SetSwitch("B", 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sys.RT.Commit()
+	if !errors.Is(err, ErrFunctionActive) {
+		t.Fatalf("commit on active function: err = %v, want ErrFunctionActive", err)
+	}
+	if !errors.Is(err, ErrCommitAborted) {
+		t.Errorf("refusal did not abort the transaction: %v", err)
+	}
+	if fs.committed != was {
+		t.Error("refused commit still changed the binding")
+	}
+	if sys.RT.Stats.ActiveRefusals != 1 {
+		t.Errorf("ActiveRefusals = %d, want 1", sys.RT.Stats.ActiveRefusals)
+	}
+	if err := sys.RT.Audit(); err != nil {
+		t.Fatalf("audit after refused commit: %v", err)
+	}
+
+	stepToHalt(t, sys)
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatalf("commit after quiesce: %v", err)
+	}
+	if fs.committed == was {
+		t.Error("post-quiesce commit did not rebind")
+	}
+}
+
+// TestRevertRefusedWhileFunctionActive: RevertFunc under ActiveRefuse
+// must also respect the activeness check.
+func TestRevertRefusedWhileFunctionActive(t *testing.T) {
+	sys := buildFig2(t)
+	fs := parkInCommittedVariant(t, sys)
+	sys.RT.SetCommitOptions(CommitOptions{Mode: ModeStopMachine, OnActive: ActiveRefuse})
+	err := sys.RT.RevertFunc(fs.fd.Generic)
+	if !errors.Is(err, ErrFunctionActive) {
+		t.Fatalf("revert of active function: err = %v, want ErrFunctionActive", err)
+	}
+	if fs.committed == nil {
+		t.Error("refused revert still tore down the binding")
+	}
+}
+
+// TestCommitDeferredWhileFunctionActive: under ActiveDefer the commit
+// succeeds with the rebinding queued; DrainDeferred applies it once
+// the CPU has halted.
+func TestCommitDeferredWhileFunctionActive(t *testing.T) {
+	sys := buildFig2(t)
+	fs := parkInCommittedVariant(t, sys)
+	was := fs.committed
+
+	sys.RT.SetCommitOptions(CommitOptions{Mode: ModeStopMachine, OnActive: ActiveDefer})
+	if err := sys.SetSwitch("B", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RT.Commit()
+	if err != nil {
+		t.Fatalf("deferring commit: %v", err)
+	}
+	if res.Deferred != 1 {
+		t.Fatalf("res.Deferred = %d, want 1", res.Deferred)
+	}
+	if got := sys.RT.DeferredCount(); got != 1 {
+		t.Fatalf("DeferredCount = %d, want 1", got)
+	}
+	if fs.committed != was {
+		t.Error("deferred commit changed the binding immediately")
+	}
+
+	// Still active: a drain must keep it queued.
+	if n, err := sys.RT.DrainDeferred(); err != nil || n != 0 {
+		t.Fatalf("drain while active: n=%d err=%v, want 0,nil", n, err)
+	}
+
+	stepToHalt(t, sys)
+	n, err := sys.RT.DrainDeferred()
+	if err != nil {
+		t.Fatalf("drain after quiesce: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("drained %d ops, want 1", n)
+	}
+	if sys.RT.DeferredCount() != 0 {
+		t.Error("queue not empty after drain")
+	}
+	if fs.committed == was || fs.committed == nil {
+		t.Error("drain did not apply the deferred rebinding")
+	}
+	if sys.RT.Stats.DeferredPatches != 1 || sys.RT.Stats.DeferredDrained != 1 {
+		t.Errorf("deferred stats = %+v", sys.RT.Stats)
+	}
+	if err := sys.RT.Audit(); err != nil {
+		t.Fatalf("audit after drain: %v", err)
+	}
+	// Semantics: the drained B=0 variant no longer calls logmsg.
+	logs := call(t, sys, "logs")
+	call(t, sys, "foo")
+	if call(t, sys, "logs") != logs {
+		t.Error("drained binding still runs the B=1 variant")
+	}
+}
+
+// TestStackActivenessViaReturnAddress: the CPU's PC sits in calc (a
+// plain helper), but the return address into multi's committed variant
+// is live on its stack — the conservative stack walk must still report
+// the variant active.
+func TestStackActivenessViaReturnAddress(t *testing.T) {
+	sys := buildFig2(t)
+	fs := parkInCommittedVariant(t, sys)
+	v := fs.committed
+
+	// Step onward until the PC leaves the variant for calc's body; the
+	// frame that will return into the variant is now on the stack.
+	calcAddr := sys.Machine.MustSymbol("calc")
+	stepInto(t, sys, calcAddr, calcAddr+1)
+
+	sys.RT.SetCommitOptions(CommitOptions{Mode: ModeStopMachine, OnActive: ActiveRefuse})
+	if !sys.RT.isActive(fs) {
+		t.Fatalf("variant [%#x,%#x) not reported active despite a live return address",
+			v.Addr, v.Addr+uint64(v.Size))
+	}
+	if err := sys.SetSwitch("B", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RT.Commit(); !errors.Is(err, ErrFunctionActive) {
+		t.Fatalf("commit with live return address: err = %v, want ErrFunctionActive", err)
+	}
+	stepToHalt(t, sys)
+}
+
+// TestTextPokeModeCommit: commits in ModeTextPoke go through the BRK
+// protocol (TextPokes counted), end audit-clean with no residual BRK,
+// and preserve commit semantics.
+func TestTextPokeModeCommit(t *testing.T) {
+	sys := buildFig2(t)
+	sys.RT.SetCommitOptions(CommitOptions{Mode: ModeTextPoke})
+	setAndCommit(t, sys, map[string]int64{"A": 1, "B": 0})
+	if sys.RT.Stats.TextPokes == 0 {
+		t.Fatal("ModeTextPoke commit performed no pokes")
+	}
+	if err := sys.RT.Audit(); err != nil {
+		t.Fatalf("audit after poke-mode commit: %v", err)
+	}
+	call(t, sys, "foo")
+	if call(t, sys, "calcs") != 1 || call(t, sys, "logs") != 0 {
+		t.Error("poke-mode commit broke variant semantics")
+	}
+	if err := sys.RT.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RT.Audit(); err != nil {
+		t.Fatalf("audit after poke-mode revert: %v", err)
+	}
+}
+
+// TestAuditRejectsResidualBRK: a BRK instruction surviving in a site
+// the runtime believes patched is exactly what a torn poke would leave
+// behind; the auditor must name it.
+func TestAuditRejectsResidualBRK(t *testing.T) {
+	sys := buildFig2(t)
+	setAndCommit(t, sys, map[string]int64{"A": 1, "B": 1})
+	var st *siteState
+	for _, sites := range sys.RT.sites {
+		for _, s := range sites {
+			if s.patched {
+				st = s
+			}
+		}
+	}
+	if st == nil {
+		t.Fatal("no patched site to corrupt")
+	}
+	// Simulate a stranded poke: BRK in memory AND in the shadow, so the
+	// shadow-compare passes and the code check must catch it.
+	brk := []byte{byte(isa.BRK)}
+	if err := sys.Machine.Mem.WriteForce(st.desc.Addr, brk); err != nil {
+		t.Fatal(err)
+	}
+	st.current[0] = byte(isa.BRK)
+	err := sys.RT.Audit()
+	if err == nil || !strings.Contains(err.Error(), "residual BRK") {
+		t.Fatalf("audit of BRK-poisoned site: %v, want residual BRK error", err)
+	}
+}
+
+// TestParkedModeUnchanged: the zero-value options keep legacy
+// semantics — no activeness check even with a CPU mid-function, no
+// rendezvous, no pokes.
+func TestParkedModeUnchanged(t *testing.T) {
+	sys := buildFig2(t)
+	fs := parkInCommittedVariant(t, sys)
+	if err := sys.SetSwitch("B", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Legacy contract: the caller vouches for safety; commit applies.
+	if _, err := sys.RT.Commit(); err != nil {
+		t.Fatalf("parked-mode commit: %v", err)
+	}
+	if fs.committed == nil {
+		t.Error("parked-mode commit did not rebind")
+	}
+	s := sys.RT.Stats
+	if s.StopMachines+s.TextPokes+s.DeferredPatches+s.ActiveRefusals != 0 {
+		t.Errorf("parked mode touched sync machinery: %+v", s)
+	}
+}

@@ -165,6 +165,7 @@ type Stats struct {
 	Interrupts   uint64
 	DecodeHits   uint64 // instructions dispatched from the decode cache
 	DecodeMisses uint64 // instructions decoded from raw bytes (cache enabled)
+	Traps        uint64 // BRK breakpoint traps taken (text-poke windows)
 }
 
 // Add returns the field-wise sum of s and o — how per-CPU stats
@@ -181,6 +182,7 @@ func (s Stats) Add(o Stats) Stats {
 		Interrupts:   s.Interrupts + o.Interrupts,
 		DecodeHits:   s.DecodeHits + o.DecodeHits,
 		DecodeMisses: s.DecodeMisses + o.DecodeMisses,
+		Traps:        s.Traps + o.Traps,
 	}
 }
 
@@ -555,6 +557,17 @@ func (c *CPU) stepDecode(pc uint64) error {
 
 func (c *CPU) exec(in isa.Inst) error {
 	pc := c.pc
+	if in.Op == isa.BRK {
+		// A breakpoint byte planted by the text-poke protocol. Nothing
+		// retires: the PC holds (the error path skips the epilogue), so
+		// the caller can spin until the poke finishes and re-step the
+		// then-rewritten instruction.
+		c.stats.Traps++
+		if c.tracer != nil {
+			c.tracer.Emit(trace.KindTrap, pc, 0, 0)
+		}
+		return &execError{pc, &TrapFault{PC: pc}}
+	}
 	next := pc + uint64(in.Len)
 	cost := 0
 	c.stats.Instructions++

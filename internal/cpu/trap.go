@@ -1,0 +1,135 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TrapFault is returned (wrapped) by Step when the fetched instruction
+// byte is BRK — the breakpoint a text-poke protocol plants over the
+// first byte of an instruction it is rewriting. The trap is fully
+// resumable: no architectural state changed and the PC still points at
+// the BRK byte, so once the poke completes (and the icache is flushed)
+// re-stepping executes the new instruction.
+type TrapFault struct {
+	PC uint64 // address of the BRK byte
+}
+
+func (t *TrapFault) Error() string {
+	return fmt.Sprintf("breakpoint trap at %#x", t.PC)
+}
+
+// AsTrap extracts a TrapFault from err's chain, or returns nil.
+func AsTrap(err error) *TrapFault {
+	var t *TrapFault
+	if errors.As(err, &t) {
+		return t
+	}
+	return nil
+}
+
+// PauseSpin charges one PAUSE worth of cycles without executing
+// anything — how a CPU parked in a breakpoint trap models its
+// spin-wait for the poke to finish (the kernel's text_poke_bp handler
+// does literally cpu_relax() in a loop).
+func (c *CPU) PauseSpin() {
+	c.cycles += uint64(c.cfg.CostPause)
+}
+
+// RASLive returns the live entries of the return-address stack,
+// youngest first. The RAS is a bounded ring, so entries older than its
+// depth have been overwritten and are not reported; callers must treat
+// the result as a lower bound on the real return addresses and
+// cross-check against the in-memory stack (StackReturnAddresses).
+func (c *CPU) RASLive() []uint64 {
+	if len(c.ras) == 0 || c.rasN == 0 {
+		return nil
+	}
+	n := c.rasN
+	if n > len(c.ras) {
+		n = len(c.ras)
+	}
+	out := make([]uint64, 0, n)
+	for k := 1; k <= n; k++ {
+		out = append(out, c.ras[(c.rasN-k)%len(c.ras)])
+	}
+	return out
+}
+
+// StackReturnAddresses walks this CPU's stack memory from SP up to
+// top (exclusive) and returns every word that plausibly is a live
+// return address — the activeness oracle live patching consults before
+// rebinding a function whose old body may still be on some stack
+// (cf. kernel livepatch's stack checking).
+//
+// m64 frames are not chained through a frame pointer, so the walk is a
+// conservative scan: a word w qualifies if it points into executable
+// memory and is preceded by a call-site encoding (a 5-byte CALL/CLLR
+// or a 9-byte CLLM ends exactly at w), or if it matches a live
+// return-address-stack entry. Scanning stops at the first word equal
+// to halt, the synthesized root frame every machine-started call
+// pushes; spilled integers below it can therefore alias a code address
+// and be over-reported, which only ever defers a patch, never
+// misapplies one. At most max words are scanned (0 means no bound).
+func (c *CPU) StackReturnAddresses(top, halt uint64, max int) []uint64 {
+	sp := c.regs[isa.SP]
+	if sp >= top || sp&7 != 0 {
+		return nil
+	}
+	ras := c.RASLive()
+	inRAS := func(w uint64) bool {
+		for _, r := range ras {
+			if r == w {
+				return true
+			}
+		}
+		return false
+	}
+	var out []uint64
+	scanned := 0
+	for addr := sp; addr < top; addr += 8 {
+		if max > 0 && scanned >= max {
+			break
+		}
+		scanned++
+		w, err := c.Mem.ReadUint(addr, 8)
+		if err != nil {
+			break
+		}
+		if w == halt {
+			break // root frame: nothing above it is ours
+		}
+		if prot, mapped := c.Mem.ProtOf(w); !mapped || prot&mem.Exec == 0 {
+			continue
+		}
+		if c.precededByCall(w) || inRAS(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// precededByCall reports whether the bytes ending at addr decode as a
+// call instruction — the shape every genuine return address has.
+func (c *CPU) precededByCall(addr uint64) bool {
+	var buf [isa.MemCallSiteLen]byte
+	if addr >= isa.CallSiteLen {
+		if err := c.Mem.Fetch(addr-isa.CallSiteLen, buf[:isa.CallSiteLen]); err == nil {
+			if in, err := isa.Decode(buf[:isa.CallSiteLen]); err == nil &&
+				(in.Op == isa.CALL || in.Op == isa.CLLR) && in.Len == isa.CallSiteLen {
+				return true
+			}
+		}
+	}
+	if addr >= isa.MemCallSiteLen {
+		if err := c.Mem.Fetch(addr-isa.MemCallSiteLen, buf[:]); err == nil {
+			if in, err := isa.Decode(buf[:]); err == nil && in.Op == isa.CLLM {
+				return true
+			}
+		}
+	}
+	return false
+}

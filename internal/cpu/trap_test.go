@@ -1,0 +1,148 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestBrkTrapResumable steps a CPU into a BRK byte, rewrites it (as
+// the poke protocol would), flushes, and resumes — the instruction
+// must execute as if the trap never happened, with nothing retired in
+// between.
+func TestBrkTrapResumable(t *testing.T) {
+	var a isa.Asm
+	a.Movi(0, 1)
+	brkOff := a.Len()
+	a.Brk() // will be rewritten to NOP
+	a.Movi(1, 2)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+
+	if err := c.Step(); err != nil { // movi
+		t.Fatal(err)
+	}
+	pcAtBrk := c.PC()
+	if pcAtBrk != textBase+uint64(brkOff) {
+		t.Fatalf("pc = %#x, want %#x", pcAtBrk, textBase+uint64(brkOff))
+	}
+	instBefore := c.Stats().Instructions
+	for i := 0; i < 3; i++ {
+		err := c.Step()
+		tf := AsTrap(err)
+		if tf == nil {
+			t.Fatalf("step %d: err = %v, want TrapFault", i, err)
+		}
+		if tf.PC != pcAtBrk {
+			t.Fatalf("trap PC = %#x, want %#x", tf.PC, pcAtBrk)
+		}
+		if c.PC() != pcAtBrk {
+			t.Fatalf("PC moved to %#x during trap", c.PC())
+		}
+		c.PauseSpin()
+	}
+	if got := c.Stats().Traps; got != 3 {
+		t.Errorf("Traps = %d, want 3", got)
+	}
+	if got := c.Stats().Instructions; got != instBefore {
+		t.Errorf("Instructions advanced %d->%d across traps", instBefore, got)
+	}
+
+	// Poke completes: BRK becomes NOP, icache flushed.
+	if err := c.Mem.WriteForce(pcAtBrk, []byte{byte(isa.NOP)}); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushICache(pcAtBrk, 1)
+	run(t, c)
+	if c.Reg(0) != 1 || c.Reg(1) != 2 {
+		t.Errorf("r0,r1 = %d,%d; want 1,2", c.Reg(0), c.Reg(1))
+	}
+}
+
+// TestStackReturnAddresses builds a three-deep call chain, halts the
+// innermost frame mid-flight... actually stops it at a known PC, and
+// asserts the walker reports exactly the two live return addresses
+// (cross-checked against the RAS) and stops at the halt-stub root.
+func TestStackReturnAddresses(t *testing.T) {
+	// Layout:
+	//   outer: call mid; hlt
+	//   mid:   call inner; ret
+	//   inner: nop; nop; hlt  (we stop at the first nop)
+	var a isa.Asm
+	a.Call(0) // placeholder -> mid
+	retOuter := uint64(a.Len())
+	a.Hlt()
+	mid := a.Len()
+	a.Call(0) // placeholder -> inner
+	retMid := uint64(a.Len())
+	a.Ret()
+	inner := a.Len()
+	a.Nop(1)
+	a.Nop(1)
+	a.Hlt()
+	code := a.Bytes()
+	// Fix up the two call displacements.
+	fix := func(site, target int) {
+		rel, err := isa.CallRel(textBase+uint64(site), textBase+uint64(target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := isa.EncodeCall(rel)
+		copy(code[site:], enc[:])
+	}
+	fix(0, mid)
+	fix(mid, inner)
+
+	c := newVM(t, code)
+	// Simulate machine.StartCall's root frame: push a halt-stub address.
+	halt := textBase + uint64(len(code)) - 1 // the final HLT byte (any sentinel works)
+	c.SetReg(isa.SP, stackTop-8)
+	if err := c.Mem.WriteUint(stackTop-8, 8, halt); err != nil {
+		t.Fatal(err)
+	}
+	// Step until the innermost nop.
+	for c.PC() != textBase+uint64(inner) {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.StackReturnAddresses(stackTop, halt, 0)
+	want := []uint64{textBase + retMid, textBase + retOuter}
+	if len(got) != len(want) {
+		t.Fatalf("StackReturnAddresses = %#x, want %#x", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StackReturnAddresses = %#x, want %#x", got, want)
+		}
+	}
+	// The RAS agrees (youngest first).
+	ras := c.RASLive()
+	if len(ras) != 2 || ras[0] != textBase+retMid || ras[1] != textBase+retOuter {
+		t.Fatalf("RASLive = %#x, want %#x", ras, want)
+	}
+}
+
+// TestStackWalkIgnoresNonCode checks that spilled integers that do not
+// point at executable memory, or are not preceded by a call encoding,
+// are not reported as return addresses.
+func TestStackWalkIgnoresNonCode(t *testing.T) {
+	var a isa.Asm
+	a.Nop(1)
+	a.Hlt()
+	c := newVM(t, a.Bytes())
+	halt := textBase + 1
+	sp := stackTop - 8*4
+	c.SetReg(isa.SP, sp)
+	// Stack (low to high): data pointer, mid-text address with no call
+	// before it, then the halt root, then garbage beyond the root.
+	vals := []uint64{dataBase + 16, textBase, halt, textBase}
+	for i, v := range vals {
+		if err := c.Mem.WriteUint(sp+uint64(8*i), 8, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.StackReturnAddresses(stackTop, halt, 0); len(got) != 0 {
+		t.Fatalf("StackReturnAddresses = %#x, want none", got)
+	}
+}

@@ -48,6 +48,12 @@ const (
 	// KindFetchFault raises a spurious fault on an instruction fetch;
 	// the PC does not advance, so re-stepping retries the fetch.
 	KindFetchFault
+	// KindPokeStep interposes on a text-poke protocol phase: when it
+	// fires, the plan invokes OnPokeStep, which a chaos harness points
+	// at "step the victim CPUs now" — landing guest execution exactly
+	// between two phases of the breakpoint protocol, where a torn
+	// instruction would be fetchable if the protocol were wrong.
+	KindPokeStep
 )
 
 // String names the kind.
@@ -61,6 +67,8 @@ func (k Kind) String() string {
 		return "drop-flush"
 	case KindFetchFault:
 		return "fetch-fault"
+	case KindPokeStep:
+		return "poke-step"
 	}
 	return "unknown"
 }
@@ -87,6 +95,11 @@ type Point struct {
 	// Tear is the number of bytes a KindWriteTear write lands before
 	// faulting (clamped to the write length).
 	Tear int
+	// Window scopes a KindDropFlush point to text-poke windows: the
+	// point only matches while a BRK byte is planted (between phases 1
+	// and 3). Losing the shootdown exactly there is the hardest case
+	// for the protocol's per-phase acknowledge loop.
+	Window bool
 }
 
 // Fault is the error an armed point produces when it fires.
@@ -121,10 +134,13 @@ type Stats struct {
 	WriteTears uint64
 	DropFlush  uint64
 	FetchFault uint64
+	PokeSteps  uint64
 }
 
 // Total returns the number of faults fired.
-func (s Stats) Total() uint64 { return s.Protect + s.WriteTears + s.DropFlush + s.FetchFault }
+func (s Stats) Total() uint64 {
+	return s.Protect + s.WriteTears + s.DropFlush + s.FetchFault + s.PokeSteps
+}
 
 type textRange struct{ lo, hi uint64 }
 
@@ -137,6 +153,17 @@ type Plan struct {
 	fired  []bool
 	ops    map[opKey]uint64
 	text   []textRange
+
+	// pokeOpen tracks whether a text-poke breakpoint window is open
+	// (between protocol phases 1 and 3); Window-scoped drop-flush
+	// points only match while it is.
+	pokeOpen bool
+
+	// OnPokeStep, when non-nil, is invoked each time a KindPokeStep
+	// point fires, with the just-completed phase and the poked range.
+	// The chaos harness points it at its victim-CPU stepper so guest
+	// execution lands between protocol phases.
+	OnPokeStep func(phase int, addr, n uint64)
 
 	// Stats counts fired faults by kind.
 	Stats Stats
@@ -172,8 +199,13 @@ type Opts struct {
 	MaxOp uint64
 	// MaxCycle bounds the arming cycle of fetch faults (default 1e6).
 	MaxCycle uint64
-	// Kinds restricts the generated kinds (default: all four).
+	// Kinds restricts the generated kinds (default: the four legacy
+	// kinds, so pre-existing seeds keep producing identical plans).
 	Kinds []Kind
+	// Poke adds the text-poke fault kinds to the default set:
+	// KindPokeStep points, plus Window-scoped drop-flush points that
+	// only fire inside a BRK window. Ignored when Kinds is set.
+	Poke bool
 }
 
 // New generates a deterministic plan from a seed: the same seed and
@@ -194,6 +226,9 @@ func New(seed int64, o Opts) *Plan {
 	kinds := o.Kinds
 	if len(kinds) == 0 {
 		kinds = []Kind{KindProtect, KindWriteTear, KindDropFlush, KindFetchFault}
+		if o.Poke {
+			kinds = append(kinds, KindPokeStep)
+		}
 	}
 	rng := rand.New(rand.NewSource(seed))
 	points := make([]Point, o.Points)
@@ -212,6 +247,11 @@ func New(seed int64, o Opts) *Plan {
 			pt.Transient = true // spurious by definition: a retry fetches fine
 		case KindDropFlush:
 			pt.Transient = true // re-issuing the flush delivers it
+			if o.Poke {
+				pt.Window = rng.Intn(2) == 0
+			}
+		case KindPokeStep:
+			pt.Transient = true // interleaving steps is not a failure
 		}
 		points[i] = pt
 	}
@@ -317,16 +357,40 @@ func (p *Plan) WriteTear(addr uint64, n int) (int, error) {
 	return tear, &Fault{Point: pt, Addr: addr}
 }
 
-// DropFlush implements cpu.Injector.
+// DropFlush implements cpu.Injector. Window-scoped points only match
+// while a text-poke breakpoint window is open.
 func (p *Plan) DropFlush(cpu int, addr, n uint64) bool {
 	op := p.bump(KindDropFlush, cpu)
 	_, ok := p.take(func(pt Point) bool {
-		return pt.Kind == KindDropFlush && pt.CPU == cpu && pt.Op == op
+		return pt.Kind == KindDropFlush && pt.CPU == cpu && pt.Op == op &&
+			(!pt.Window || p.pokeOpen)
 	})
 	if ok {
 		p.Stats.DropFlush++
 	}
 	return ok
+}
+
+// PokePhase implements machine.PokePhaser: it tracks the open BRK
+// window for Window-scoped drop-flush points and fires any armed
+// KindPokeStep point, handing control to OnPokeStep so the harness can
+// interleave victim-CPU steps between protocol phases.
+func (p *Plan) PokePhase(phase int, addr, n uint64) {
+	switch phase {
+	case 1:
+		p.pokeOpen = true
+	case 3:
+		p.pokeOpen = false
+	}
+	op := p.bump(KindPokeStep, -1)
+	_, ok := p.take(func(pt Point) bool { return pt.Kind == KindPokeStep && pt.Op == op })
+	if !ok {
+		return
+	}
+	p.Stats.PokeSteps++
+	if p.OnPokeStep != nil {
+		p.OnPokeStep(phase, addr, n)
+	}
 }
 
 // FetchFault implements cpu.Injector.
@@ -346,5 +410,9 @@ func (p *Plan) FetchFault(cpu int, pc, cycles uint64) error {
 }
 
 // Plan satisfies the union injector interface (and with it the mem-
-// and cpu-side hooks it embeds).
-var _ machine.Injector = (*Plan)(nil)
+// and cpu-side hooks it embeds), plus the poke-phase observer the
+// machine probes for during text pokes.
+var (
+	_ machine.Injector   = (*Plan)(nil)
+	_ machine.PokePhaser = (*Plan)(nil)
+)

@@ -115,3 +115,65 @@ func TestFetchFaultFiresAtCycleThreshold(t *testing.T) {
 		t.Fatalf("retried fetch faulted again: %v", err)
 	}
 }
+
+func TestPokeOptsDoNotPerturbLegacySeeds(t *testing.T) {
+	// The Poke knob must not change what a legacy seed generates: a
+	// fixed CI seed's fault plan stays byte-for-byte stable.
+	legacy := New(7, Opts{Points: 8, CPUs: 2})
+	again := New(7, Opts{Points: 8, CPUs: 2})
+	if !reflect.DeepEqual(legacy.Points(), again.Points()) {
+		t.Fatal("legacy plan generation is not stable")
+	}
+	for _, pt := range legacy.Points() {
+		if pt.Kind == KindPokeStep || pt.Window {
+			t.Fatalf("legacy plan contains poke-era point %+v", pt)
+		}
+	}
+	poke := New(7, Opts{Points: 64, CPUs: 2, Poke: true})
+	found := false
+	for _, pt := range poke.Points() {
+		if pt.Kind == KindPokeStep {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Poke plan with 64 points generated no poke-step point")
+	}
+}
+
+func TestWindowDropFlushOnlyFiresInsidePokeWindow(t *testing.T) {
+	p := Exact(Point{Kind: KindDropFlush, CPU: 0, Op: 0, Window: true, Transient: true})
+	// Outside any poke window the point must not match — but the
+	// operation count advances, so rebuild a fresh plan per scenario.
+	if p.DropFlush(0, 0x400000, 5) {
+		t.Fatal("window-scoped drop-flush fired outside a poke window")
+	}
+
+	p = Exact(Point{Kind: KindDropFlush, CPU: 0, Op: 0, Window: true, Transient: true})
+	p.PokePhase(1, 0x400000, 5) // BRK planted: window open
+	if !p.DropFlush(0, 0x400000, 5) {
+		t.Fatal("window-scoped drop-flush did not fire inside the window")
+	}
+	p.PokePhase(3, 0x400000, 5) // first byte restored: window closed
+	if p.pokeOpen {
+		t.Fatal("poke window still open after phase 3")
+	}
+}
+
+func TestPokeStepPointInvokesCallback(t *testing.T) {
+	p := Exact(Point{Kind: KindPokeStep, Op: 1, Transient: true})
+	var got []int
+	p.OnPokeStep = func(phase int, addr, n uint64) { got = append(got, phase) }
+	p.PokePhase(1, 0x400000, 6) // op 0: no match
+	p.PokePhase(2, 0x400000, 6) // op 1: fires
+	p.PokePhase(3, 0x400000, 6) // disarmed
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("OnPokeStep phases = %v, want [2]", got)
+	}
+	if p.Stats.PokeSteps != 1 {
+		t.Fatalf("PokeSteps = %d, want 1", p.Stats.PokeSteps)
+	}
+	if p.Stats.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", p.Stats.Total())
+	}
+}

@@ -45,7 +45,7 @@ func Decode(code []byte) (Inst, error) {
 	}
 
 	switch op {
-	case HLT, NOP, RET, PAUSE, CLI, STI:
+	case HLT, NOP, BRK, RET, PAUSE, CLI, STI:
 		return Inst{Op: op, Len: 1}, nil
 
 	case NOPN:

@@ -11,7 +11,7 @@ import (
 func (in Inst) Format(addr uint64) string {
 	end := addr + uint64(in.Len)
 	switch in.Op {
-	case HLT, NOP, RET, PAUSE, CLI, STI:
+	case HLT, NOP, BRK, RET, PAUSE, CLI, STI:
 		return in.Op.String()
 	case NOPN:
 		return fmt.Sprintf("nop%d", in.Len)

@@ -27,6 +27,12 @@ func (a *Asm) i64(v int64) { a.buf = binary.LittleEndian.AppendUint64(a.buf, uin
 // Hlt encodes HLT.
 func (a *Asm) Hlt() { a.op(HLT) }
 
+// Brk encodes the 1-byte BRK breakpoint trap. Cross-modifying code
+// writes its single byte over the first byte of a live instruction
+// (m64's text_poke_bp analogue): a concurrent fetch either decodes the
+// old instruction whole or traps resumably.
+func (a *Asm) Brk() { a.op(BRK) }
+
 // Nop encodes a no-op of total length n bytes (n >= 1).
 func (a *Asm) Nop(n int) {
 	switch {

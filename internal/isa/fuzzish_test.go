@@ -55,7 +55,10 @@ func randomInst(rng *rand.Rand, a *Asm) Inst {
 	size := []int{1, 2, 4, 8}[rng.Intn(4)]
 	imm32 := int32(rng.Uint32())
 	imm64 := int64(rng.Uint64())
-	switch rng.Intn(14) {
+	switch rng.Intn(15) {
+	case 14:
+		a.Brk()
+		return Inst{Op: BRK, Len: 1}
 	case 0:
 		a.Movi(0, imm64)
 		return Inst{Op: MOVI, Len: 10, Rd: 0, Imm: imm64}
@@ -118,6 +121,87 @@ func randomInst(rng *rand.Rand, a *Asm) Inst {
 			panic(err)
 		}
 		return in
+	}
+}
+
+// TestBrkEncoding pins the properties the text-poke protocol relies
+// on: BRK is exactly one byte (so overwriting the first byte of any
+// instruction is a single atomic store), it decodes and formats as a
+// first-class opcode, and it decodes identically regardless of the
+// garbage that follows it (a mid-poke site holds BRK plus a torn or
+// half-written tail).
+func TestBrkEncoding(t *testing.T) {
+	var a Asm
+	a.Brk()
+	if got := a.Bytes(); len(got) != 1 || Op(got[0]) != BRK {
+		t.Fatalf("Brk encoded as %x, want the single byte %#02x", got, byte(BRK))
+	}
+	in, err := Decode(a.Bytes())
+	if err != nil {
+		t.Fatalf("Decode(BRK): %v", err)
+	}
+	if in.Op != BRK || in.Len != 1 {
+		t.Fatalf("Decode(BRK) = %+v, want Op=BRK Len=1", in)
+	}
+	if !BRK.Valid() {
+		t.Fatal("BRK.Valid() = false")
+	}
+	if s := in.Format(0x1000); s != "brk" {
+		t.Fatalf("Format(BRK) = %q, want \"brk\"", s)
+	}
+	// Any tail after the BRK byte is irrelevant to its decode.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		buf := make([]byte, 1+rng.Intn(12))
+		rng.Read(buf)
+		buf[0] = byte(BRK)
+		in, err := Decode(buf)
+		if err != nil || in.Op != BRK || in.Len != 1 {
+			t.Fatalf("Decode(BRK + %x) = %+v, %v; want Op=BRK Len=1", buf[1:], in, err)
+		}
+	}
+}
+
+// TestDecodeAtPatchBoundaries models the windows a racing fetch can
+// see around a patched call site: truncated prefixes of every real
+// instruction must return ErrTruncated (never mis-decode as a shorter
+// instruction), and a BRK-first byte always wins regardless of the old
+// instruction bytes behind it.
+func TestDecodeAtPatchBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		var a Asm
+		want := randomInst(rng, &a)
+		code := a.Bytes()
+		for cut := 0; cut < want.Len; cut++ {
+			if cut == 0 {
+				if _, err := Decode(nil); err != ErrTruncated {
+					t.Fatalf("Decode(empty) = %v, want ErrTruncated", err)
+				}
+				continue
+			}
+			in, err := Decode(code[:cut])
+			if err == nil && in.Len > cut {
+				t.Fatalf("trial %d: decode of %d/%d-byte prefix of %v claims length %d",
+					trial, cut, want.Len, want.Op, in.Len)
+			}
+			// A prefix must either fail or decode as a complete shorter
+			// instruction that really is a prefix of the encoding (NOPN
+			// padding windows legitimately do this); a 1-byte window of a
+			// multi-byte instruction must never succeed unless its first
+			// byte is itself a complete instruction.
+			if err != nil && err != ErrTruncated && cut < 2 {
+				t.Fatalf("trial %d: 1-byte window of %v failed with %v, want ErrTruncated", trial, want.Op, err)
+			}
+		}
+		// Phase 1 of the poke protocol: BRK lands over byte 0 while the
+		// old tail is still in place. The decode must be BRK, length 1.
+		poked := append([]byte(nil), code...)
+		poked[0] = byte(BRK)
+		in, err := Decode(poked)
+		if err != nil || in.Op != BRK || in.Len != 1 {
+			t.Fatalf("trial %d: BRK over %v decoded as %+v, %v", trial, want.Op, in, err)
+		}
 	}
 }
 

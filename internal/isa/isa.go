@@ -37,6 +37,7 @@ const (
 	HLT  Op = 0x00 // halt the CPU
 	NOP  Op = 0x01 // 1-byte no-op
 	NOPN Op = 0x02 // multi-byte no-op: [op][len8][pad...], total length len8
+	BRK  Op = 0x03 // 1-byte breakpoint trap — the int3 of m64
 
 	MOVI Op = 0x10 // rd <- imm64
 	MOV  Op = 0x11 // rd <- rs
@@ -218,7 +219,7 @@ const CallSiteLen = 5
 const MemCallSiteLen = 9
 
 var opNames = map[Op]string{
-	HLT: "hlt", NOP: "nop", NOPN: "nopn",
+	HLT: "hlt", NOP: "nop", NOPN: "nopn", BRK: "brk",
 	MOVI: "movi", MOV: "mov", LD: "ld", LDS: "lds", ST: "st", LEA: "lea",
 	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", MOD: "mod",
 	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr", SAR: "sar",

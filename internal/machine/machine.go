@@ -39,8 +39,21 @@ type Machine struct {
 	// each CPU added with AddCPU its own cycle-stamped event stream.
 	TraceCollector *trace.Collector
 
+	// StepHook, when non-nil, is invoked by Interleave at every quantum
+	// boundary with the CPU index just scheduled, its PC, and the total
+	// instructions executed so far. Concurrency harnesses use it to land
+	// runtime operations at deterministic interleaving points. Nil (the
+	// default) leaves Interleave's behavior and cost unchanged.
+	StepHook func(cpuIdx int, pc uint64, total uint64)
+
+	// PokeHook, when non-nil, observes each completed phase of a
+	// TextPoke (see NotePokePhase). Chaos harnesses use it to interleave
+	// victim-CPU steps between protocol phases.
+	PokeHook func(phase int, addr, n uint64)
+
 	extraCPUs int        // secondary hardware threads added via AddCPU
 	cpus      []*cpu.CPU // every hardware thread, primary first
+	stackTops []uint64   // per-CPU stack top, parallel to cpus
 	injector  Injector   // propagated to CPUs added after SetInjector
 }
 
@@ -145,7 +158,8 @@ func New(img *link.Image, opts ...Option) (*Machine, error) {
 
 	c := cpu.New(m, o.cfg)
 	c.SetReg(isa.SP, stackTop)
-	mach := &Machine{Mem: m, CPU: c, Image: img, MaxSteps: 1 << 40, cpus: []*cpu.CPU{c}}
+	mach := &Machine{Mem: m, CPU: c, Image: img, MaxSteps: 1 << 40,
+		cpus: []*cpu.CPU{c}, stackTops: []uint64{stackTop}}
 	c.OutB = func(port uint8, b byte) {
 		if port == ConsolePort {
 			mach.console.WriteByte(b)

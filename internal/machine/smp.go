@@ -17,11 +17,23 @@ import (
 // caller (see Interleave); each instruction executes atomically, so
 // XCHG retains its locked semantics across CPUs.
 func (m *Machine) AddCPU() (*cpu.CPU, error) {
-	m.extraCPUs++
-	top := stackTop - uint64(m.extraCPUs)*(stackPages+4)*mem.PageSize
-	if err := m.Mem.Map(top-stackPages*mem.PageSize, stackPages*mem.PageSize, mem.RW); err != nil {
-		return nil, fmt.Errorf("machine: mapping stack for cpu %d: %w", m.extraCPUs, err)
+	// Compute the slot before claiming it: a failed Map must not leak
+	// the slot index (which would leave a permanent hole in the stack
+	// layout and desynchronize stackTops from cpus).
+	slot := uint64(m.extraCPUs + 1)
+	span := (stackPages + 4) * mem.PageSize
+	if slot*span+stackPages*mem.PageSize > stackTop {
+		return nil, fmt.Errorf("machine: no address space below %#x for cpu %d's stack", stackTop, slot)
 	}
+	top := stackTop - slot*span
+	base := top - stackPages*mem.PageSize
+	if err := m.Mem.Map(base, stackPages*mem.PageSize, mem.RW); err != nil {
+		// Typically the stack marched down into an image segment or heap
+		// mapping; Map names the exact colliding page.
+		return nil, fmt.Errorf("machine: stack for cpu %d at [%#x, %#x): %w", slot, base, top, err)
+	}
+	m.extraCPUs++
+	m.stackTops = append(m.stackTops, top)
 	c := cpu.New(m.Mem, m.CPU.Config())
 	c.SetDecodeCache(m.CPU.DecodeCacheEnabled())
 	c.SetReg(isa.SP, top)
@@ -69,9 +81,21 @@ func (m *Machine) StartCall(c *cpu.CPU, name string, args ...uint64) error {
 // quanta[i] instructions per round, round-robin, until every CPU has
 // halted. It returns the total number of instructions executed.
 // Uneven quanta explore different interleavings deterministically.
+// Every quantum must be >= 1: a zero quantum would keep a non-halted
+// CPU "running" without ever stepping it, spinning the round-robin
+// loop forever.
+//
+// If m.StepHook is non-nil it is invoked at each quantum boundary —
+// a deterministic instruction-boundary point at which concurrency
+// harnesses inject runtime operations. A nil hook costs nothing.
 func (m *Machine) Interleave(cpus []*cpu.CPU, quanta []int, maxSteps uint64) (uint64, error) {
 	if len(cpus) != len(quanta) {
 		return 0, fmt.Errorf("machine: %d cpus but %d quanta", len(cpus), len(quanta))
+	}
+	for i, q := range quanta {
+		if q < 1 {
+			return 0, fmt.Errorf("machine: quantum %d for cpu %d (must be >= 1)", q, i)
+		}
 	}
 	var total uint64
 	for {
@@ -82,13 +106,18 @@ func (m *Machine) Interleave(cpus []*cpu.CPU, quanta []int, maxSteps uint64) (ui
 			}
 			anyRunning = true
 			for q := 0; q < quanta[i] && !c.Halted(); q++ {
+				// Exact bound: executing instruction maxSteps+1 is the
+				// violation, so refuse before stepping, not one step after.
+				if total == maxSteps {
+					return total, fmt.Errorf("machine: interleave exceeded %d steps", maxSteps)
+				}
 				if err := c.Step(); err != nil {
 					return total, fmt.Errorf("machine: cpu %d: %w", i, err)
 				}
 				total++
-				if total > maxSteps {
-					return total, fmt.Errorf("machine: interleave exceeded %d steps", maxSteps)
-				}
+			}
+			if m.StepHook != nil {
+				m.StepHook(i, c.PC(), total)
 			}
 		}
 		if !anyRunning {

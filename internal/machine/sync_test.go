@@ -1,0 +1,288 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/mem"
+	"repro/internal/obj"
+)
+
+// buildPokeImage assembles
+//
+//	spin:
+//	  movi r1, 100000
+//	site: addi r1, -1      <- the 6-byte instruction tests poke over
+//	  cmpi r1, 0
+//	  jne site
+//	  ret
+//
+// and exports "spin" and "site".
+func buildPokeImage(t *testing.T) *link.Image {
+	t.Helper()
+	o := obj.New("poke.c")
+	var a isa.Asm
+	spin := a.Len()
+	a.Movi(1, 100000)
+	site := a.Len()
+	a.AluI(isa.ADDI, 1, -1)
+	a.CmpI(1, 0)
+	a.Jcc(isa.NE, int32(site-(a.Len()+6)))
+	a.Ret()
+	o.Section(obj.SecText).Data = a.Bytes()
+	o.AddSymbol(obj.Symbol{Name: "spin", Section: obj.SecText, Offset: uint64(spin), Global: true})
+	o.AddSymbol(obj.Symbol{Name: "site", Section: obj.SecText, Offset: uint64(site), Size: 6, Global: true})
+	img, err := link.Link(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestInterleaveRejectsZeroQuantum: a zero quantum used to make
+// Interleave spin forever (the CPU counted as running but was never
+// stepped); it must be rejected up front.
+func TestInterleaveRejectsZeroQuantum(t *testing.T) {
+	img := buildPokeImage(t)
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartCall(m.CPU, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Interleave([]*cpu.CPU{m.CPU}, []int{0}, 1000)
+	if err == nil || !strings.Contains(err.Error(), "quantum") {
+		t.Fatalf("Interleave with zero quantum: err = %v, want quantum validation error", err)
+	}
+}
+
+// TestInterleaveExactStepBound: a program needing exactly N steps must
+// succeed with maxSteps = N and fail with maxSteps = N-1 (the bound
+// used to be enforced one step late).
+func TestInterleaveExactStepBound(t *testing.T) {
+	img := buildPokeImage(t)
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartCall(m.CPU, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	need, err := m.Interleave([]*cpu.CPU{m.CPU}, []int{7}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := New(buildPokeImage(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.StartCall(m2.CPU, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := m2.Interleave([]*cpu.CPU{m2.CPU}, []int{7}, need); err != nil {
+		t.Fatalf("maxSteps = exact need %d: %v (executed %d)", need, err, got)
+	}
+
+	m3, err := New(buildPokeImage(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.StartCall(m3.CPU, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m3.Interleave([]*cpu.CPU{m3.CPU}, []int{7}, need-1)
+	if err == nil {
+		t.Fatalf("maxSteps = %d not enforced", need-1)
+	}
+	if got != need-1 {
+		t.Fatalf("executed %d steps under a %d-step bound", got, need-1)
+	}
+}
+
+// TestInterleaveStepHook: the hook fires at quantum boundaries with
+// monotonic totals, and attaching it does not change execution.
+func TestInterleaveStepHook(t *testing.T) {
+	img := buildPokeImage(t)
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartCall(m.CPU, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	var fires int
+	var lastTotal uint64
+	m.StepHook = func(cpuIdx int, pc uint64, total uint64) {
+		if cpuIdx != 0 {
+			t.Errorf("hook cpu = %d, want 0", cpuIdx)
+		}
+		if total < lastTotal {
+			t.Errorf("hook total went backwards: %d -> %d", lastTotal, total)
+		}
+		lastTotal = total
+		fires++
+	}
+	total, err := m.Interleave([]*cpu.CPU{m.CPU}, []int{100}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fires == 0 {
+		t.Fatal("StepHook never fired")
+	}
+	if lastTotal != total {
+		t.Errorf("final hook total = %d, want %d", lastTotal, total)
+	}
+}
+
+// TestAddCPUStackCollision: a mapping squatting where the next CPU
+// stack goes must fail AddCPU with a descriptive error and must not
+// leak the stack slot — after the squatter is unmapped, AddCPU places
+// the same slot successfully.
+func TestAddCPUStackCollision(t *testing.T) {
+	img := buildPokeImage(t)
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := (stackPages + 4) * mem.PageSize
+	top := stackTop - span
+	base := top - stackPages*mem.PageSize
+	if err := m.Mem.Map(base, mem.PageSize, mem.RW); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.AddCPU()
+	if err == nil {
+		t.Fatal("AddCPU over an existing mapping succeeded")
+	}
+	if !strings.Contains(err.Error(), "overlaps") || !strings.Contains(err.Error(), "stack for cpu 1") {
+		t.Fatalf("AddCPU collision error not descriptive: %v", err)
+	}
+	if len(m.CPUs()) != 1 {
+		t.Fatalf("failed AddCPU still registered a CPU: %d", len(m.CPUs()))
+	}
+	if err := m.Mem.Unmap(base, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.AddCPU()
+	if err != nil {
+		t.Fatalf("AddCPU after unmap: %v (slot leaked by the failed attempt?)", err)
+	}
+	if got := c2.Reg(isa.SP); got != top {
+		t.Errorf("cpu 1 stack top = %#x, want %#x", got, top)
+	}
+}
+
+// TestTextPokeProtocol drives a poke over a 6-byte instruction while a
+// second CPU sits with its PC on the site: mid-window the bytes must
+// be BRK + transitioning tail, the racing CPU must trap resumably in
+// phases 1 and 2, and after completion it must execute the new
+// instruction.
+func TestTextPokeProtocol(t *testing.T) {
+	img := buildPokeImage(t)
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := m.MustSymbol("site")
+	c := m.CPU
+	if err := m.StartCall(c, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil { // movi; PC now at site, icache warm
+		t.Fatal(err)
+	}
+	if c.PC() != site {
+		t.Fatalf("pc = %#x, want site %#x", c.PC(), site)
+	}
+
+	var oldBytes [6]byte
+	if err := m.Mem.Read(site, oldBytes[:]); err != nil {
+		t.Fatal(err)
+	}
+	newBytes := isa.EncodeNop(6)
+
+	var phases []int
+	m.PokeHook = func(phase int, addr, n uint64) {
+		phases = append(phases, phase)
+		if addr != site || n != 6 {
+			t.Errorf("phase %d addr/n = %#x/%d, want %#x/6", phase, addr, n, site)
+		}
+		var cur [6]byte
+		if err := m.Mem.Read(site, cur[:]); err != nil {
+			t.Fatal(err)
+		}
+		if phase < 3 && cur[0] != byte(isa.BRK) {
+			t.Errorf("phase %d: first byte %#02x, want BRK", phase, cur[0])
+		}
+		if phase == 3 && cur != [6]byte(newBytes) {
+			t.Errorf("phase 3: site = %x, want %x", cur, newBytes)
+		}
+		if phase < 3 {
+			// The racing CPU must trap resumably, never decode a hybrid.
+			err := c.Step()
+			if tf := cpu.AsTrap(err); tf == nil || tf.PC != site {
+				t.Fatalf("phase %d: racing step = %v, want trap at site", phase, err)
+			}
+			c.PauseSpin()
+		}
+	}
+	if err := m.TextPoke(site, newBytes); err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 || phases[0] != 1 || phases[1] != 2 || phases[2] != 3 {
+		t.Fatalf("phases = %v, want [1 2 3]", phases)
+	}
+	traps := c.Stats().Traps
+	if traps != 2 {
+		t.Errorf("Traps = %d, want 2", traps)
+	}
+	// Poke complete: the parked CPU re-steps and executes the new
+	// 6-byte NOP whole.
+	if err := c.Step(); err != nil {
+		t.Fatalf("post-poke step: %v", err)
+	}
+	if c.PC() != site+6 {
+		t.Errorf("post-poke pc = %#x, want %#x", c.PC(), site+6)
+	}
+}
+
+// TestStopMachineHerdsCPUOutOfRange parks a CPU inside an avoid range
+// and checks the rendezvous steps it to a safe point before running fn.
+func TestStopMachineHerdsCPUOutOfRange(t *testing.T) {
+	img := buildPokeImage(t)
+	m, err := New(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := m.MustSymbol("site")
+	c := m.CPU
+	if err := m.StartCall(c, "spin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil { // park at site
+		t.Fatal(err)
+	}
+	avoid := []Range{{Addr: site, Len: 6}}
+	ran := false
+	latency, err := m.StopMachine(avoid, func() error {
+		ran = true
+		if pc := c.PC(); pc >= site && pc < site+6 {
+			t.Errorf("fn ran with cpu pc %#x inside the avoid range", pc)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("fn did not run")
+	}
+	if latency == 0 {
+		t.Error("rendezvous latency = 0 despite herding a CPU")
+	}
+}

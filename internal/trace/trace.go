@@ -62,6 +62,13 @@ const (
 	KindCommitRetry   // Addr = retried patch address, A = attempt number
 	KindCommitAbort   // Addr = commit scope, A = journal entries rolled back
 	KindRollback      // Addr = restored range start, A = length
+
+	// Cross-modifying-code events (internal/cpu, internal/machine,
+	// internal/core).
+	KindTrap       // Addr = pc that fetched a BRK byte
+	KindPokePhase  // Addr = poked range start, A = length, B = phase (1 BRK in, 2 tail, 3 first byte)
+	KindRendezvous // Addr = 0, A = rendezvous latency in cycles, B = CPUs quiesced
+	KindDeferred   // Addr = function entry, A = 1 commit / 2 revert, Name = function
 )
 
 // String names the kind as exported to Chrome traces.
@@ -95,6 +102,14 @@ func (k Kind) String() string {
 		return "CommitAbort"
 	case KindRollback:
 		return "Rollback"
+	case KindTrap:
+		return "Trap"
+	case KindPokePhase:
+		return "PokePhase"
+	case KindRendezvous:
+		return "Rendezvous"
+	case KindDeferred:
+		return "Deferred"
 	}
 	return "Unknown"
 }
