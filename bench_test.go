@@ -163,10 +163,13 @@ func BenchmarkFig5Musl(b *testing.B) {
 
 // BenchmarkInterpreterThroughput measures how many simulated
 // instructions per host second the interpreter retires on a hot loop,
-// with and without the predecoded-instruction cache. Unlike the
+// across the host-side accelerator axes: the predecoded-instruction
+// cache and the superblock threaded-dispatch layer. Unlike the
 // experiment benchmarks above, the ns/op column here IS the result:
-// the cache must not change any simulated cycle (see
-// internal/difftest), only the host-side insts/sec metric.
+// neither accelerator may change any simulated cycle (see
+// internal/difftest), only the host-side insts/sec metric. The
+// acceptance bar is superblocks ≥2x over the decode-cache-only
+// "cached" baseline.
 func BenchmarkInterpreterThroughput(b *testing.B) {
 	const textBase, iters = uint64(0x400000), int32(10_000)
 	program := func() []byte {
@@ -190,14 +193,16 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 	modes := []struct {
 		name    string
 		cached  bool
+		blocks  bool
 		collect func() *trace.Collector // nil = no tracer
 	}{
-		{"cached", true, nil},
-		{"uncached", false, nil},
-		{"cached+traced", true, func() *trace.Collector {
+		{"superblocks", true, true, nil},
+		{"cached", true, false, nil},
+		{"uncached", false, false, nil},
+		{"cached+traced", true, false, func() *trace.Collector {
 			return trace.NewCollector(trace.Options{})
 		}},
-		{"cached+profiled", true, func() *trace.Collector {
+		{"cached+profiled", true, false, func() *trace.Collector {
 			return trace.NewCollector(trace.Options{Profile: true})
 		}},
 	}
@@ -212,6 +217,7 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 			}
 			c := cpu.New(m, cpu.DefaultConfig())
 			c.SetDecodeCache(mode.cached)
+			c.SetSuperblocks(mode.blocks)
 			if mode.collect != nil {
 				col := mode.collect()
 				col.SetSymbols(trace.NewSymTable([]trace.Sym{

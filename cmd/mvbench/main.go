@@ -32,11 +32,14 @@ var (
 	iters   = flag.Uint64("iters", 100, "calls per sample")
 
 	// Reported cycle counts are bit-identical either way (the
-	// difftests assert it); the knob exists to demonstrate exactly
+	// difftests assert it); the knobs exist to demonstrate exactly
 	// that, and to time the host-side speedup.
 	decodeCache = flag.Bool("decode-cache", cpu.DecodeCacheDefault(),
 		"use the predecoded-instruction cache (cycle counts are identical either way)")
+	superblocks = flag.Bool("superblocks", cpu.SuperblocksDefault(),
+		"use the superblock threaded-dispatch interpreter (cycle counts are identical either way)")
 
+	repeat    = flag.Int("repeat", 1, "run the selected experiments this many times")
 	jsonPath  = flag.String("json", "", "write machine-readable results to this JSON file")
 	tracePath = flag.String("trace", "", "record all experiment activity and write a Chrome trace-event JSON file")
 )
@@ -56,9 +59,11 @@ type jsonEntry struct {
 var (
 	results []jsonEntry
 
-	// registry aggregates every system built during the run.
+	// registry aggregates every system built during the run; deltas
+	// attributes its counter activity to individual measurements (per
+	// -repeat round, never against run start — see metrics.DeltaTracker).
 	registry = metrics.New()
-	lastSeen = map[string]uint64{}
+	deltas   = metrics.NewDeltaTracker(registry)
 )
 
 // recordedCounters are the per-measurement activity deltas exported in
@@ -67,6 +72,10 @@ var recordedCounters = []string{
 	"mv_instructions_total",
 	"mv_decode_hits_total",
 	"mv_decode_misses_total",
+	"mv_superblock_builds_total",
+	"mv_superblock_hits_total",
+	"mv_superblock_insts_total",
+	"mv_superblock_invalidated_total",
 	"mv_mem_protect_calls_total",
 	"mv_icache_flushes_total",
 	"mv_commits_total",
@@ -81,13 +90,8 @@ var recordedCounters = []string{
 // record notes a measurement for -json and returns it unchanged, so
 // call sites stay one-liners.
 func record(experiment, label string, r bench.Result) bench.Result {
-	deltas := make(map[string]uint64, len(recordedCounters))
-	for _, name := range recordedCounters {
-		now := registry.CounterTotal(name)
-		deltas[name] = now - lastSeen[name]
-		lastSeen[name] = now
-	}
-	results = append(results, jsonEntry{Experiment: experiment, Label: label, Result: r, Counters: deltas})
+	results = append(results, jsonEntry{Experiment: experiment, Label: label,
+		Result: r, Counters: deltas.Take(recordedCounters)})
 	return r
 }
 
@@ -98,6 +102,7 @@ func opts() kernelsim.MeasureOpts {
 func main() {
 	flag.Parse()
 	cpu.SetDecodeCacheDefault(*decodeCache)
+	cpu.SetSuperblocksDefault(*superblocks)
 	// Every system any experiment builds registers into this one
 	// registry; attaching is scrape-time-only, so the cycle numbers in
 	// the tables are bit-identical with or without it (the difftests
@@ -130,16 +135,19 @@ func main() {
 		names = order
 	}
 	for _, n := range names {
-		f, ok := experiments[n]
-		if !ok {
+		if _, ok := experiments[n]; !ok {
 			fmt.Fprintf(os.Stderr, "mvbench: unknown experiment %q\n", n)
 			os.Exit(2)
 		}
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "mvbench: %s: %v\n", n, err)
-			os.Exit(1)
+	}
+	for rep := 0; rep < *repeat; rep++ {
+		for _, n := range names {
+			if err := experiments[n](); err != nil {
+				fmt.Fprintf(os.Stderr, "mvbench: %s: %v\n", n, err)
+				os.Exit(1)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
 	}
 	if err := writeOutputs(col); err != nil {
 		fmt.Fprintf(os.Stderr, "mvbench: %v\n", err)

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/link"
 	"repro/internal/machine"
@@ -52,6 +53,8 @@ var (
 	sampleEvery = flag.Uint64("sample-every", 100000, "simulated cycles between samples")
 	sampleFmt   = flag.String("sample-format", "jsonl", "sample file format: jsonl or csv")
 	repeat      = flag.Int("repeat", 1, "call the entry function this many times")
+	superblocks = flag.Bool("superblocks", cpu.SuperblocksDefault(),
+		"use the superblock threaded-dispatch interpreter (cycle counts are identical either way; also MV_SUPERBLOCKS=off)")
 
 	sets setFlags
 )
@@ -63,6 +66,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mvrun [flags] image")
 		os.Exit(2)
 	}
+	cpu.SetSuperblocksDefault(*superblocks)
 	if err := run(flag.Arg(0)); err != nil {
 		fmt.Fprintf(os.Stderr, "mvrun: %v\n", err)
 		os.Exit(1)

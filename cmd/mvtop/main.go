@@ -166,8 +166,9 @@ func render(snap *metrics.Snapshot, source string) {
 		value(snap, "mv_instructions_total"),
 		value(snap, "mv_commits_total"),
 		value(snap, "mv_reverts_total"))
-	fmt.Printf("decode-cache hit %5.1f%%   icache flushes/Minst %8.2f   protects/Minst %8.2f\n",
+	fmt.Printf("decode-cache hit %5.1f%%   superblock %5.1f%%   icache flushes/Minst %8.2f   protects/Minst %8.2f\n",
 		value(snap, "mv_decode_hit_ratio")*100,
+		value(snap, "mv_superblock_hit_ratio")*100,
 		value(snap, "mv_icache_flush_rate_per_minst"),
 		value(snap, "mv_protect_rate_per_minst"))
 

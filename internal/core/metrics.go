@@ -133,6 +133,14 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 			stat(func(s machineStats) uint64 { return s.cpu.DecodeHits })},
 		{"mv_decode_misses_total", "Instructions decoded from raw bytes.",
 			stat(func(s machineStats) uint64 { return s.cpu.DecodeMisses })},
+		{"mv_superblock_builds_total", "Superblocks chained from icache-line snapshots.",
+			stat(func(s machineStats) uint64 { return s.cpu.BlockBuilds })},
+		{"mv_superblock_hits_total", "Superblock dispatches (block entries and re-entries).",
+			stat(func(s machineStats) uint64 { return s.cpu.BlockHits })},
+		{"mv_superblock_insts_total", "Instructions dispatched through superblocks.",
+			stat(func(s machineStats) uint64 { return s.cpu.BlockInsts })},
+		{"mv_superblock_invalidated_total", "Superblocks dropped by icache flushes.",
+			stat(func(s machineStats) uint64 { return s.cpu.BlockInvalidates })},
 		{"mv_mem_protect_calls_total", "mem.Protect transitions (mprotect analogue).",
 			stat(func(s machineStats) uint64 { return s.mem.ProtectCalls })},
 		{"mv_icache_flushes_total", "Explicit icache invalidations after patching.",
@@ -161,6 +169,15 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 					return 0
 				}
 				return float64(hits) / float64(total)
+			})
+		reg.GaugeFunc("mv_superblock_hit_ratio",
+			"Fraction of instructions dispatched through superblocks across all systems.",
+			func() float64 {
+				inst := reg.CounterTotal("mv_instructions_total")
+				if inst == 0 {
+					return 0
+				}
+				return float64(reg.CounterTotal("mv_superblock_insts_total")) / float64(inst)
 			})
 		perMInst := func(name string) func() float64 {
 			return func() float64 {

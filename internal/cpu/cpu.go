@@ -58,13 +58,15 @@ type Hypervisor interface {
 // Injector is the CPU-side fault-injection hook (see
 // internal/faultinject, which implements it together with the
 // mem-side hooks). A nil injector disables injection entirely: Run
-// selects the hook-free stepFast loop, so the unobserved hot path is
+// selects the hook-free stepFastN loop, so the unobserved hot path is
 // untouched — the same pattern as Tracer. Implementations must be
 // deterministic.
 type Injector interface {
 	// FetchFault is consulted once per Step before fetch; a non-nil
 	// error models a spurious instruction-fetch fault. The PC does not
-	// advance, so re-stepping retries the same instruction.
+	// advance, so re-stepping retries the same instruction. Consulted
+	// per instruction: Run drops to single-step dispatch (no
+	// superblocks) whenever an injector is installed.
 	FetchFault(cpu int, pc, cycles uint64) error
 	// DropFlush reports whether this CPU should silently lose the
 	// icache invalidation for [addr, addr+n) — a dropped SMP shootdown
@@ -166,6 +168,11 @@ type Stats struct {
 	DecodeHits   uint64 // instructions dispatched from the decode cache
 	DecodeMisses uint64 // instructions decoded from raw bytes (cache enabled)
 	Traps        uint64 // BRK breakpoint traps taken (text-poke windows)
+
+	BlockBuilds      uint64 // superblocks chained from icache-line snapshots
+	BlockHits        uint64 // superblock dispatches (one per block entry/re-entry)
+	BlockInsts       uint64 // instructions dispatched through superblocks
+	BlockInvalidates uint64 // superblocks dropped by FlushICache
 }
 
 // Add returns the field-wise sum of s and o — how per-CPU stats
@@ -183,6 +190,11 @@ func (s Stats) Add(o Stats) Stats {
 		DecodeHits:   s.DecodeHits + o.DecodeHits,
 		DecodeMisses: s.DecodeMisses + o.DecodeMisses,
 		Traps:        s.Traps + o.Traps,
+
+		BlockBuilds:      s.BlockBuilds + o.BlockBuilds,
+		BlockHits:        s.BlockHits + o.BlockHits,
+		BlockInsts:       s.BlockInsts + o.BlockInsts,
+		BlockInvalidates: s.BlockInvalidates + o.BlockInvalidates,
 	}
 }
 
@@ -194,6 +206,17 @@ func (s Stats) DecodeHitRatio() float64 {
 		return 0
 	}
 	return float64(s.DecodeHits) / float64(total)
+}
+
+// BlockHitRatio returns the fraction of instructions dispatched
+// through superblocks, or 0 when nothing has executed. Never NaN:
+// ratio gauges are exported straight into JSON, which cannot
+// represent NaN.
+func (s Stats) BlockHitRatio() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.BlockInsts) / float64(s.Instructions)
 }
 
 // CPU is a single m64 hardware thread.
@@ -214,6 +237,7 @@ type CPU struct {
 
 	icache      map[uint64]*icLine // page number -> cached line
 	decodeCache bool               // serve Step from predecoded instructions
+	superblocks bool               // chain straight-line runs for Run's fast path
 	lastPN      uint64             // page number memo for the decode-cache fast path
 	lastLine    *icLine            // line memo; nil = invalid, cleared by FlushICache
 
@@ -222,7 +246,7 @@ type CPU struct {
 	hypervisor Hypervisor
 	tracer     trace.Tracer
 
-	inject Injector // nil = no fault injection (Run keeps stepFast)
+	inject Injector // nil = no fault injection (Run keeps stepFastN)
 	id     int      // hardware-thread index the injector keys faults on
 
 	intrPeriod uint64 // perturbation period in cycles; 0 = off
@@ -252,6 +276,13 @@ type icLine struct {
 	// with the line, so FlushICache invalidates both together — see
 	// decodecache.go.
 	dec []isa.Inst
+
+	// sb lazily caches superblocks headed at each in-page offset
+	// (superblock.go); like dec, blocks derive only from bytes and die
+	// with the line. nsb counts real (non-sentinel) blocks so
+	// FlushICache can account invalidations without rescanning.
+	sb  []*superblock
+	nsb int
 }
 
 // New returns a CPU executing from m with the given cost model.
@@ -266,6 +297,7 @@ func New(m *mem.Memory, cfg Config) *CPU {
 		ras:         make([]uint64, cfg.RASDepth),
 		icache:      make(map[uint64]*icLine),
 		decodeCache: decodeCacheDefault,
+		superblocks: superblocksDefault,
 		tracer:      cfg.Tracer,
 	}
 }
@@ -366,7 +398,10 @@ func (c *CPU) FlushICache(addr, n uint64) {
 	first := addr >> mem.PageShift
 	last := (addr + n - 1) >> mem.PageShift
 	for pn := first; pn <= last; pn++ {
-		delete(c.icache, pn)
+		if line, ok := c.icache[pn]; ok {
+			c.stats.BlockInvalidates += uint64(line.nsb)
+			delete(c.icache, pn)
+		}
 	}
 	// The decode-cache fast path memoizes the last line; a flush may
 	// have dropped it.
@@ -492,26 +527,6 @@ func (c *CPU) Step() error {
 			if c.tracer != nil {
 				c.tracer.Step(pc, c.cycles)
 			}
-			return c.exec(in)
-		}
-	}
-	return c.stepDecode(pc)
-}
-
-// stepFast is Step without the per-instruction hook checks. Run
-// selects it once per call when no Trace, tracer or fault injector is
-// installed, so the unobserved hot path pays nothing for
-// observability or injection (hooks cannot appear mid-Run). The decode-miss path
-// keeps its hook checks: it is off the hot path anyway and sharing it
-// avoids a second copy of the decoder.
-func (c *CPU) stepFast() error {
-	if c.halted {
-		return fmt.Errorf("cpu: step on halted CPU")
-	}
-	pc := c.pc
-	if c.decodeCache {
-		if in, ok := c.cachedInst(pc); ok {
-			c.stats.DecodeHits++
 			return c.exec(in)
 		}
 	}
@@ -987,10 +1002,15 @@ func (c *CPU) Run(maxSteps uint64) (uint64, error) {
 			if c.halted {
 				return steps, nil
 			}
-			if err := c.stepFast(); err != nil {
+			// stepFastN retires up to the remaining budget through a
+			// superblock (or exactly one instruction off the block path),
+			// so steps stays exact: a block never overshoots maxSteps and
+			// a faulting instruction is not counted, same as Step.
+			n, err := c.stepFastN(maxSteps - steps)
+			steps += n
+			if err != nil {
 				return steps, err
 			}
-			steps++
 		}
 	} else {
 		for steps < maxSteps {

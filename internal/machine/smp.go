@@ -36,6 +36,7 @@ func (m *Machine) AddCPU() (*cpu.CPU, error) {
 	m.stackTops = append(m.stackTops, top)
 	c := cpu.New(m.Mem, m.CPU.Config())
 	c.SetDecodeCache(m.CPU.DecodeCacheEnabled())
+	c.SetSuperblocks(m.CPU.SuperblocksEnabled())
 	c.SetReg(isa.SP, top)
 	c.OutB = m.CPU.OutB
 	// The Config copy carries the primary CPU's tracer, whose stream is

@@ -1,10 +1,38 @@
 package mem
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/trace"
 )
+
+// TestStatsSubCoversAllFields fails whenever a field is added to Stats
+// but forgotten in Sub — which would silently corrupt the per-commit
+// deltas the core commit-latency accounting computes. Fields are
+// seeded with distinct values via reflection so the test needs no
+// updating when Stats grows.
+func TestStatsSubCoversAllFields(t *testing.T) {
+	var now, prev Stats
+	vn := reflect.ValueOf(&now).Elem()
+	vp := reflect.ValueOf(&prev).Elem()
+	for i := 0; i < vn.NumField(); i++ {
+		if vn.Field(i).Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %s; extend this test for non-uint64 fields",
+				vn.Type().Field(i).Name, vn.Field(i).Kind())
+		}
+		vn.Field(i).SetUint(uint64(1000 * (i + 1)))
+		vp.Field(i).SetUint(uint64(i + 1))
+	}
+	diff := reflect.ValueOf(now.Sub(prev))
+	for i := 0; i < diff.NumField(); i++ {
+		want := uint64(1000*(i+1)) - uint64(i+1)
+		if got := diff.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Sub drops field %s: got %d, want %d",
+				diff.Type().Field(i).Name, got, want)
+		}
+	}
+}
 
 func TestProtectCountsAndTraces(t *testing.T) {
 	m := New()

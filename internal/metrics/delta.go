@@ -1,0 +1,34 @@
+package metrics
+
+// DeltaTracker attributes counter activity to successive measurement
+// intervals: each Take returns, per counter, the increase since the
+// previous Take that sampled it (or since the tracker was created),
+// and advances that baseline. Consumers that tag measurements with
+// "what did the machine do during this sample" — mvbench's -json
+// Counters field, across any number of -repeat rounds — get
+// non-overlapping deltas that sum to the counter totals, never
+// since-run-start values that would double-count earlier intervals.
+type DeltaTracker struct {
+	reg  *Registry
+	last map[string]uint64
+}
+
+// NewDeltaTracker returns a tracker whose baseline for every counter
+// is its value at first Take... i.e. zero for counters that have not
+// moved yet, so the first interval is attributed fully.
+func NewDeltaTracker(reg *Registry) *DeltaTracker {
+	return &DeltaTracker{reg: reg, last: make(map[string]uint64)}
+}
+
+// Take returns the per-counter increase since each counter's previous
+// Take and moves the baseline forward. Counters absent from the
+// registry read as 0 total, so their delta is 0.
+func (t *DeltaTracker) Take(names []string) map[string]uint64 {
+	out := make(map[string]uint64, len(names))
+	for _, name := range names {
+		now := t.reg.CounterTotal(name)
+		out[name] = now - t.last[name]
+		t.last[name] = now
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestDeltaTrackerAttributesIntervals pins the mvbench -repeat
+// contract: each Take returns only the activity since the previous
+// Take, and the deltas across rounds sum to the counter total — no
+// since-run-start double counting.
+func TestDeltaTrackerAttributesIntervals(t *testing.T) {
+	r := New()
+	c := r.Counter("work_total", "")
+	names := []string{"work_total", "absent_total"}
+	dt := NewDeltaTracker(r)
+
+	c.Add(10)
+	d1 := dt.Take(names)
+	if d1["work_total"] != 10 {
+		t.Errorf("first interval delta = %d, want 10", d1["work_total"])
+	}
+	if d1["absent_total"] != 0 {
+		t.Errorf("absent counter delta = %d, want 0", d1["absent_total"])
+	}
+
+	c.Add(7)
+	d2 := dt.Take(names)
+	if d2["work_total"] != 7 {
+		t.Errorf("second interval delta = %d, want 7 (got since-start value?)", d2["work_total"])
+	}
+
+	// Idle interval: baseline must have advanced, so the delta is 0,
+	// not a replay of the previous interval.
+	d3 := dt.Take(names)
+	if d3["work_total"] != 0 {
+		t.Errorf("idle interval delta = %d, want 0", d3["work_total"])
+	}
+
+	if total := d1["work_total"] + d2["work_total"] + d3["work_total"]; total != c.Value() {
+		t.Errorf("interval deltas sum to %d, counter total is %d", total, c.Value())
+	}
+}
+
+// TestSnapshotSanitizesNonFiniteGauges: a GaugeFunc returning NaN or
+// ±Inf (a ratio before its denominator has moved) must not poison the
+// snapshot — JSON has no encoding for those values, and json.Marshal
+// errors out on them, which would break mvbench -json and the
+// /metrics.json endpoint wholesale.
+func TestSnapshotSanitizesNonFiniteGauges(t *testing.T) {
+	r := New()
+	r.GaugeFunc("bad_ratio", "", func() float64 { return math.NaN() })
+	r.GaugeFunc("bad_inf", "", func() float64 { return math.Inf(1) })
+	r.GaugeFunc("bad_neginf", "", func() float64 { return math.Inf(-1) })
+	r.GaugeFunc("good", "", func() float64 { return 0.5 })
+
+	snap := r.Snapshot()
+	for _, name := range []string{"bad_ratio", "bad_inf", "bad_neginf"} {
+		f := snap.Find(name)
+		if f == nil || len(f.Series) != 1 || f.Series[0].Value == nil {
+			t.Fatalf("%s missing from snapshot", name)
+		}
+		if v := *f.Series[0].Value; v != 0 {
+			t.Errorf("%s exported as %v, want sanitized 0", name, v)
+		}
+	}
+	if v := *snap.Find("good").Series[0].Value; v != 0.5 {
+		t.Errorf("finite gauge perturbed: %v, want 0.5", v)
+	}
+
+	// The end-to-end property the sanitizing exists for.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot with non-finite gauges does not marshal: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+}

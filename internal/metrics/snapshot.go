@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -85,7 +86,14 @@ func (r *Registry) Snapshot() Snapshot {
 				v := float64(g.s.counterValue())
 				sv.Value = &v
 			case TypeGauge:
+				// JSON has no encoding for NaN or ±Inf — json.Marshal
+				// fails on them — so a single misbehaving GaugeFunc
+				// (e.g. a ratio with a zero denominator) must not take
+				// down every snapshot consumer. Export 0 instead.
 				v := g.s.gaugeValue()
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
 				sv.Value = &v
 			case TypeHistogram:
 				h := g.s.hist.Snapshot()
