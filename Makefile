@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke bench
+.PHONY: check fmt vet build test race smoke trace-smoke bench
 
-check: fmt vet build test race smoke
+check: fmt vet build test race smoke trace-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -33,6 +33,24 @@ smoke:
 		echo "mvbench fig1 differs with decode cache on/off:"; \
 		diff /tmp/mv-smoke-on.txt /tmp/mv-smoke-off.txt; exit 1; fi
 	@cat /tmp/mv-smoke-on.txt
+
+# End-to-end observability smoke: compile a demo, run it under the
+# always-on flight recorder, and render the dump with mvtrace in both
+# views. Exercises the whole mvcc -> mvrun -flight -> mvtrace pipeline.
+trace-smoke:
+	@printf '%s\n' \
+		'multiverse int feature_enabled;' \
+		'long fast_calls;' \
+		'void fast_path(void) { fast_calls++; }' \
+		'void slow_path(void) { }' \
+		'multiverse void process(void) { if (feature_enabled) { fast_path(); } else { slow_path(); } }' \
+		'void handle_request(void) { process(); }' \
+		> /tmp/mv-trace-smoke.mvc
+	@$(GO) run ./cmd/mvcc -o /tmp/mv-trace-smoke.img /tmp/mv-trace-smoke.mvc
+	@$(GO) run ./cmd/mvrun -entry handle_request -set feature_enabled=1 -commit \
+		-flight /tmp/mv-trace-smoke.flight.json /tmp/mv-trace-smoke.img > /dev/null
+	@$(GO) run ./cmd/mvtrace /tmp/mv-trace-smoke.flight.json > /dev/null
+	@$(GO) run ./cmd/mvtrace -timeline /tmp/mv-trace-smoke.flight.json
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -3,7 +3,8 @@
 // and reports the result, the console output and the cycle count.
 //
 //	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-audit] [-wx] \
-//	      [-trace out.json] [-profile out.folded] \
+//	      [-trace out.json] [-profile out.folded] [-flight out.json] \
+//	      [-watchdog] [-watchdog-rules name=value,...] \
 //	      [-metrics-addr :9090] [-sample out.jsonl] [-repeat n] image
 package main
 
@@ -45,6 +46,11 @@ var (
 	traceLimit = flag.Int("trace-limit", 200, "stop instruction tracing after this many instructions")
 	traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 	profileOut = flag.String("profile", "", "write flamegraph-compatible folded stacks of simulated cycles")
+	flightOut  = flag.String("flight", "",
+		"write the flight-recorder dump (last commit-lifecycle/fault events) to this file; on failure it holds the failure-point dump (mvtrace renders it)")
+	watchdog      = flag.Bool("watchdog", false, "arm the cycle-domain invariant watchdog; exit non-zero if any rule fires")
+	watchdogRules = flag.String("watchdog-rules", "",
+		"override watchdog thresholds, name=value,... (rules: rendezvous-latency, deferred-depth, flush-retry-storm, invalidation-storm); implies -watchdog")
 
 	metricsAddr = flag.String("metrics-addr", "",
 		"serve Prometheus text on /metrics and a JSON snapshot on /metrics.json at this address for the duration of the run")
@@ -73,7 +79,7 @@ func main() {
 	}
 }
 
-func run(path string) error {
+func run(path string) (err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -102,10 +108,68 @@ func run(path string) error {
 		core.AttachTracer(col, m, rt)
 	}
 
+	// The flight recorder tees onto whatever tracer is attached, so it
+	// must come after AttachTracer (which replaces rt's tracer).
+	var rec *trace.Recorder
+	if *flightOut != "" {
+		rec = trace.NewRecorder(0)
+		core.AttachFlightRecorder(rec, m, rt)
+		defer func() {
+			// A failure that reached the recorder (commit abort, audit
+			// violation) already produced the dump worth keeping; a clean
+			// run dumps whatever the ring holds at exit.
+			d := rec.LastDump()
+			if d == nil || err == nil {
+				reason := "end-of-run"
+				if err != nil {
+					reason = err.Error()
+				}
+				dd := rec.Dump(reason)
+				d = &dd
+			}
+			if werr := writeFile(*flightOut, d.WriteJSON); werr != nil {
+				if err == nil {
+					err = werr
+				}
+				return
+			}
+			fmt.Fprintf(os.Stderr, "mvrun: flight dump (%d events, %q) -> %s\n",
+				len(d.Events), d.Reason, *flightOut)
+		}()
+	}
+
+	var wd *trace.Watchdog
+	if *watchdog || *watchdogRules != "" {
+		rules, rerr := trace.ParseWatchdogRules(*watchdogRules)
+		if rerr != nil {
+			return rerr
+		}
+		wd = trace.NewWatchdog(rules)
+		core.AttachWatchdog(wd, m, rt)
+		defer func() {
+			if !wd.Fired() {
+				return
+			}
+			for _, a := range wd.Alerts() {
+				fmt.Fprintf(os.Stderr, "mvrun: watchdog: rule %s fired at cycle %d (value %d > threshold %d, span %d)\n",
+					a.Rule, a.Cycle, a.Value, a.Threshold, a.Span)
+			}
+			if err == nil {
+				err = fmt.Errorf("watchdog: %d invariant violation(s)", len(wd.Alerts()))
+			}
+		}()
+	}
+
 	var reg *metrics.Registry
 	if *metricsAddr != "" || *samplePath != "" {
 		reg = metrics.New()
 		core.AttachMetrics(reg, m, rt)
+		if col != nil {
+			core.AttachTraceMetrics(reg, col)
+		}
+		if wd != nil {
+			core.AttachWatchdogMetrics(reg, wd)
+		}
 	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)

@@ -19,7 +19,10 @@
 // On failure it prints the offending seed and configuration, writes a
 // JSON repro artifact if -artifact is given (for concurrent runs the
 // artifact records the effective per-CPU scheduler quanta), and exits
-// nonzero. Any reported seed reproduces exactly:
+// nonzero. The artifact embeds the failing run's flight-recorder dump
+// (the last commit-lifecycle events before the violation) and a
+// standalone copy is written next to it as <artifact>.flight.json for
+// mvtrace. Any reported seed reproduces exactly:
 //
 //	mvstress -seeds 1 -seed-base <seed> -workload <w> [-smp]
 //	mvstress -seeds 1 -seed-base <seed> -workload <w> -concurrent -cpus <n> -mode <m>
@@ -32,6 +35,7 @@ import (
 	"os"
 
 	"repro/internal/chaos"
+	"repro/internal/trace"
 )
 
 var (
@@ -53,10 +57,11 @@ var (
 // Quanta records the effective per-CPU scheduler quanta of concurrent
 // runs, so the artifact captures the exact interleaving schedule.
 type failure struct {
-	Seed   int64        `json:"seed"`
-	Config chaos.Config `json:"config"`
-	Quanta []int        `json:"quanta,omitempty"`
-	Error  string       `json:"error"`
+	Seed   int64             `json:"seed"`
+	Config chaos.Config      `json:"config"`
+	Quanta []int             `json:"quanta,omitempty"`
+	Error  string            `json:"error"`
+	Flight *trace.FlightDump `json:"flight,omitempty"`
 }
 
 func configs() []chaos.Config {
@@ -128,7 +133,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, "mvstress: reproduce with: mvstress -seeds 1 -seed-base %d -workload %s -smp=%v -steps %d -faults %d\n",
 						seed, cfg.Workload, cfg.SMP, *steps, *faults)
 				}
-				writeArtifact(failure{Seed: seed, Config: cfg, Quanta: res.Quanta, Error: err.Error()})
+				writeArtifact(failure{Seed: seed, Config: cfg, Quanta: res.Quanta, Error: err.Error(), Flight: res.FlightDump})
 				os.Exit(1)
 			}
 			runs++
@@ -162,5 +167,20 @@ func writeArtifact(f failure) {
 	data = append(data, '\n')
 	if err := os.WriteFile(*artifact, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "mvstress: writing artifact: %v\n", err)
+	}
+	if f.Flight == nil {
+		return
+	}
+	// Also write the flight dump standalone, next to the artifact, so
+	// CI can upload it and mvtrace can read it without unwrapping.
+	path := *artifact + ".flight.json"
+	out, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mvstress: writing flight dump: %v\n", err)
+		return
+	}
+	defer out.Close()
+	if err := f.Flight.WriteJSON(out); err != nil {
+		fmt.Fprintf(os.Stderr, "mvstress: writing flight dump: %v\n", err)
 	}
 }

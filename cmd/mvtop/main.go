@@ -12,14 +12,12 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -52,29 +50,18 @@ func main() {
 }
 
 // replayFile steps through the rows of a JSONL sampler file, one frame
-// per interval (or just the last frame with -once).
+// per interval (or just the last frame with -once). A truncated final
+// row — a run that died mid-write — is dropped rather than fatal, so
+// crash recordings replay.
 func replayFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	var snaps []metrics.Snapshot
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		var s metrics.Snapshot
-		if err := json.Unmarshal([]byte(line), &s); err != nil {
-			return fmt.Errorf("%s: %w (is this a -sample-format jsonl file?)", path, err)
-		}
-		snaps = append(snaps, s)
-	}
-	if err := sc.Err(); err != nil {
-		return err
+	snaps, err := metrics.ReadSnapshotLog(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w (is this a -sample-format jsonl file?)", path, err)
 	}
 	if len(snaps) == 0 {
 		return fmt.Errorf("%s: no snapshots", path)

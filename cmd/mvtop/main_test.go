@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReplayFileToleratesTruncatedFinalRow covers the crash-recording
+// case end to end: a sampler file whose last row was torn mid-write
+// must still replay its intact rows instead of erroring out.
+func TestReplayFileToleratesTruncatedFinalRow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "samples.jsonl")
+	rows := `{"cycle": 100, "metrics": []}
+{"cycle": 200, "metrics": []}
+{"cycle": 300, "metr`
+	if err := os.WriteFile(path, []byte(rows), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	*once = true
+	defer func() { *once = false }()
+	out := captureStdout(t, func() {
+		if err := replayFile(path); err != nil {
+			t.Errorf("replayFile: %v", err)
+		}
+	})
+	// The final frame is the last intact row, cycle 200.
+	if !strings.Contains(out, "cycle 200") {
+		t.Errorf("final frame should be the last intact snapshot:\n%s", out)
+	}
+	if !strings.Contains(out, "[2/2]") {
+		t.Errorf("frame counter should reflect only intact rows:\n%s", out)
+	}
+}
+
+func TestReplayFileRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "samples.jsonl")
+	rows := `{"cycle": 100, "metrics": []}
+{"cycle": 200, "metr
+{"cycle": 300, "metrics": []}
+`
+	if err := os.WriteFile(path, []byte(rows), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayFile(path); err == nil {
+		t.Fatal("mid-file corruption should be an error")
+	}
+}
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/muslsim"
+	"repro/internal/trace"
 )
 
 // Config shapes one chaos run.
@@ -62,6 +63,11 @@ type Config struct {
 	// when empty they derive from the seed. Result records the
 	// effective value so failing-seed artifacts capture the schedule.
 	Quanta []int `json:",omitempty"`
+	// Sabotage, when > 0, corrupts one text byte behind the runtime's
+	// back after that many operations, guaranteeing an audit violation.
+	// It exists to test the failure path itself — that a violated run
+	// produces a flight-recorder dump in its Result and artifacts.
+	Sabotage int `json:",omitempty"`
 }
 
 // Result summarizes one run.
@@ -76,6 +82,11 @@ type Result struct {
 	Quanta      []int  `json:",omitempty"` // effective per-CPU interleave quanta (concurrent mode)
 	Traps       uint64 // BRK traps taken by workload CPUs inside poke windows
 	Deferred    int    // rebindings deferred by the activeness check
+
+	// FlightDump is the flight recorder's view of the failure: the last
+	// commit-lifecycle and fault events before the violated invariant.
+	// Nil for passing runs.
+	FlightDump *trace.FlightDump `json:",omitempty"`
 }
 
 // maxCallSteps bounds any single guest call during chaos runs.
@@ -104,6 +115,18 @@ func Run(seed int64, cfg Config) (res Result, err error) {
 	sys := w.system()
 	m, rt := sys.Machine, sys.RT
 	m.MaxSteps = maxCallSteps
+
+	// The always-on flight recorder: when any property below is
+	// violated, the Result carries the last commit-lifecycle events as
+	// the failure's causal record (mvstress attaches it to artifacts).
+	rec := trace.NewRecorder(0)
+	core.AttachFlightRecorder(rec, m, rt)
+	defer func() {
+		if err != nil {
+			d := rec.Dump("chaos property violation")
+			res.FlightDump = &d
+		}
+	}()
 
 	pristine, err := snapshotExec(m)
 	if err != nil {
@@ -187,6 +210,11 @@ func Run(seed int64, cfg Config) (res Result, err error) {
 			// Revert aggregates per-function transactions; a partial
 			// failure surfaces as an error, so a silent abort is a bug.
 			return res, fmt.Errorf("seed %d op %d: abort recorded but no error returned", seed, op)
+		}
+		if cfg.Sabotage > 0 && op+1 == cfg.Sabotage {
+			if err := sabotageText(m, rt); err != nil {
+				return res, fmt.Errorf("seed %d op %d: sabotage: %w", seed, op, err)
+			}
 		}
 		if err := rt.Audit(); err != nil {
 			return res, fmt.Errorf("seed %d op %d: audit: %w", seed, op, err)
@@ -539,6 +567,24 @@ func (w *e4Workload) check(m *machine.Machine, rng *rand.Rand) error {
 }
 
 // --- shared helpers -------------------------------------------------------
+
+// sabotageText corrupts one byte of a runtime-managed text range
+// behind the runtime's back (WriteForce bypasses page protection), so
+// the next Audit must report a torn-or-tampered site. Used by the
+// Sabotage config to exercise the violation path end to end.
+func sabotageText(m *machine.Machine, rt *core.Runtime) error {
+	ranges := rt.PatchRanges()
+	if len(ranges) == 0 {
+		return fmt.Errorf("chaos: no patch ranges to sabotage")
+	}
+	addr := ranges[0].Addr
+	var b [1]byte
+	if err := m.Mem.Read(addr, b[:]); err != nil {
+		return err
+	}
+	b[0] ^= 0xff
+	return m.Mem.WriteForce(addr, b[:])
+}
 
 // callResumed invokes a guest function on the primary CPU, transparently
 // re-stepping across injected spurious fetch faults (the PC holds, so

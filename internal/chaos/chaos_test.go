@@ -75,3 +75,50 @@ func TestChaosRejectsUnknownWorkload(t *testing.T) {
 		t.Fatal("unknown workload accepted")
 	}
 }
+
+// TestSabotageProducesFlightDump forces a property violation (a text
+// byte corrupted behind the runtime's back trips the auditor) and
+// asserts the failing run carries its flight-recorder dump — the same
+// payload mvstress embeds in failing-seed artifacts.
+func TestSabotageProducesFlightDump(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 10, Faults: 0, Sabotage: 3}
+	res, err := Run(1, cfg)
+	if err == nil {
+		t.Fatal("sabotaged run reported success")
+	}
+	d := res.FlightDump
+	if d == nil {
+		t.Fatal("failing run has no flight dump")
+	}
+	if d.Reason != "chaos property violation" {
+		t.Errorf("dump reason = %q", d.Reason)
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("flight dump is empty")
+	}
+	for _, fe := range d.Events {
+		if _, err := fe.Event(); err != nil {
+			t.Fatalf("dump event does not decode: %v", err)
+		}
+	}
+	// A healthy run of the same shape carries no dump.
+	ok, err := Run(1, Config{Workload: "e1", Steps: 10, Faults: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.FlightDump != nil {
+		t.Error("successful run should not attach a flight dump")
+	}
+}
+
+func TestSabotageProducesFlightDumpConcurrent(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 10, Faults: 0,
+		Concurrent: true, CPUs: 2, Mode: "stop", Sabotage: 3}
+	res, err := Run(1, cfg)
+	if err == nil {
+		t.Fatal("sabotaged concurrent run reported success")
+	}
+	if res.FlightDump == nil || len(res.FlightDump.Events) == 0 {
+		t.Fatalf("failing concurrent run has no flight dump: %+v", res.FlightDump)
+	}
+}

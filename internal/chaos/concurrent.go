@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/faultinject"
+	"repro/internal/trace"
 )
 
 // runConcurrent is the cross-modifying-commit property run: unlike the
@@ -55,6 +56,17 @@ func runConcurrent(seed int64, cfg Config) (res Result, err error) {
 	sys := w.system()
 	m, rt := sys.Machine, sys.RT
 	m.MaxSteps = maxCallSteps
+
+	// Flight recorder: failed runs carry their last commit-lifecycle
+	// events (see Run).
+	rec := trace.NewRecorder(0)
+	core.AttachFlightRecorder(rec, m, rt)
+	defer func() {
+		if err != nil {
+			d := rec.Dump("chaos property violation")
+			res.FlightDump = &d
+		}
+	}()
 
 	pristine, err := snapshotExec(m)
 	if err != nil {
@@ -313,6 +325,11 @@ func runConcurrent(seed int64, cfg Config) (res Result, err error) {
 			}
 		} else if rt.Stats.CommitAborts != abortsBefore {
 			return res, fmt.Errorf("seed %d op %d: abort recorded but no error returned", seed, op)
+		}
+		if cfg.Sabotage > 0 && op+1 == cfg.Sabotage {
+			if err := sabotageText(m, rt); err != nil {
+				return res, fmt.Errorf("seed %d op %d: sabotage: %w", seed, op, err)
+			}
 		}
 		if err := rt.Audit(); err != nil {
 			return res, fmt.Errorf("seed %d op %d: audit: %w", seed, op, err)

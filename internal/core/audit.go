@@ -56,7 +56,13 @@ func (rt *Runtime) Audit() error {
 			}
 		}
 	}
-	return errors.Join(errs...)
+	if err := errors.Join(errs...); err != nil {
+		// An inconsistent image is a flight-dump moment: the ring holds
+		// the operations that led here.
+		rt.noteFailure("audit-failure")
+		return err
+	}
+	return nil
 }
 
 // siteTargets is the set of addresses a direct call installed at one

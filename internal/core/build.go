@@ -76,6 +76,11 @@ func BuildSystem(opts GenOptions, machOpts []machine.Option, srcs ...Source) (*S
 	if defaultMetricsRegistry != nil {
 		AttachMetrics(defaultMetricsRegistry, m, rt)
 	}
+	// After the tracer: AttachTracer replaces rt.Tracer, the recorder
+	// tees onto it.
+	if defaultFlightRecorder != nil {
+		s.AttachFlightRecorder(defaultFlightRecorder)
+	}
 	return s, nil
 }
 

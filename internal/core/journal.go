@@ -207,6 +207,9 @@ func (rt *Runtime) verifyFlushes(entries []journalEntry) {
 		n := uint64(len(e.old))
 		for try := 0; try < maxFlushVerify && fv.ICacheStale(e.addr, n); try++ {
 			rt.Stats.FlushRetries++
+			if rt.Tracer != nil {
+				rt.Tracer.Emit(trace.KindFlushRetry, e.addr, n, uint64(try+1))
+			}
 			rt.plat.FlushICache(e.addr, n)
 		}
 	}
@@ -236,6 +239,7 @@ func (rt *Runtime) abort(t *txn, cause error) error {
 	rt.Stats.CommitAborts++
 	var errs []error
 	rolled := 0
+	endPhase := rt.phase("rollback")
 	for i := len(t.entries) - 1; i >= 0; i-- {
 		e := t.entries[i]
 		if e.undo != nil {
@@ -253,12 +257,16 @@ func (rt *Runtime) abort(t *txn, cause error) error {
 	}
 	rt.Stats.SitesRolledBack += rolled
 	rt.verifyFlushes(t.entries)
+	endPhase()
 	if rt.Tracer != nil {
 		rt.Tracer.Emit(trace.KindCommitAbort, 0, uint64(rolled), 0)
 	}
 	if err := rt.Audit(); err != nil {
 		errs = append(errs, fmt.Errorf("core: post-rollback audit: %w", err))
 	}
+	// The flight recorder dumps here, after the abort's own events are
+	// in the ring, so the dump's span tree covers the whole failure.
+	rt.noteFailure("commit-abort")
 	if len(errs) > 0 {
 		return fmt.Errorf("%w: %w (rollback incomplete: %w)", ErrCommitAborted, cause, errors.Join(errs...))
 	}

@@ -52,6 +52,14 @@ type Runtime struct {
 	// values that drove them, and every site/prologue patch.
 	Tracer trace.Tracer
 
+	// opSeq numbers public operations; beginOpSpan (span.go) stamps it
+	// into every trace sink that carries commit-causality spans.
+	opSeq uint64
+
+	// flight, when non-nil (AttachFlightRecorder), receives a failure
+	// dump on commit abort and audit failure.
+	flight *trace.Recorder
+
 	// metrics, when non-nil (set by AttachMetrics), observes commit
 	// latency, sites-per-commit and per-function variant residency.
 	// All its methods are nil-receiver safe, so the hooks below cost
@@ -678,6 +686,11 @@ func (rt *Runtime) Commit() (CommitResult, error) {
 	if end := rt.metrics.beginCommit(rt); end != nil {
 		defer end()
 	}
+	// Open the causality span before the Begin event and close it after
+	// the deferred End event (defers run newest-first), so both carry it.
+	if reset := rt.beginOpSpan(); reset != nil {
+		defer reset()
+	}
 	var res CommitResult
 	if rt.Tracer != nil {
 		rt.Tracer.Emit(trace.KindCommitBegin, 0, 0, 0)
@@ -729,6 +742,9 @@ func (rt *Runtime) Commit() (CommitResult, error) {
 // pin every other binding. The joined errors report every failure.
 func (rt *Runtime) Revert() error {
 	rt.Stats.Reverts++
+	if reset := rt.beginOpSpan(); reset != nil {
+		defer reset()
+	}
 	if rt.Tracer != nil {
 		rt.Tracer.Emit(trace.KindRevertBegin, 0, 0, 0)
 		defer rt.Tracer.Emit(trace.KindRevertEnd, 0, 0, 0)
@@ -764,6 +780,9 @@ func (rt *Runtime) CommitFunc(generic uint64) (bool, error) {
 	rt.Stats.Commits++
 	if end := rt.metrics.beginCommit(rt); end != nil {
 		defer end()
+	}
+	if reset := rt.beginOpSpan(); reset != nil {
+		defer reset()
 	}
 	commit := func() (bindStatus, error) {
 		t := rt.beginTxn()
@@ -801,6 +820,9 @@ func (rt *Runtime) RevertFunc(generic uint64) error {
 		return fmt.Errorf("core: %#x is not a multiversed function", generic)
 	}
 	rt.Stats.Reverts++
+	if reset := rt.beginOpSpan(); reset != nil {
+		defer reset()
+	}
 	if rt.Tracer != nil {
 		rt.Tracer.EmitName(trace.KindRevertBegin, generic, 0, 0, fs.fd.Name)
 		defer rt.Tracer.EmitName(trace.KindRevertEnd, generic, 0, 0, fs.fd.Name)
@@ -830,6 +852,9 @@ func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 	rt.Stats.Commits++
 	if end := rt.metrics.beginCommit(rt); end != nil {
 		defer end()
+	}
+	if reset := rt.beginOpSpan(); reset != nil {
+		defer reset()
 	}
 	var res CommitResult
 	if rt.Tracer != nil {
@@ -888,6 +913,9 @@ func (rt *Runtime) CommitRefs(varAddr uint64) (CommitResult, error) {
 // (Table 1: multiverse_revert_refs).
 func (rt *Runtime) RevertRefs(varAddr uint64) error {
 	rt.Stats.Reverts++
+	if reset := rt.beginOpSpan(); reset != nil {
+		defer reset()
+	}
 	if rt.Tracer != nil {
 		rt.Tracer.Emit(trace.KindRevertBegin, varAddr, 0, 0)
 		defer rt.Tracer.Emit(trace.KindRevertEnd, varAddr, 0, 0)

@@ -124,9 +124,11 @@ func (rt *Runtime) runGuarded(body func() error) error {
 	for i, pr := range prs {
 		avoid[i] = machine.Range{Addr: pr.Addr, Len: pr.Len}
 	}
+	endPhase := rt.phase("stop-machine")
 	lat, err := sm.StopMachine(avoid, body)
 	rt.Stats.StopMachines++
 	rt.noteRendezvous(lat, uint64(len(avoid)))
+	endPhase()
 	return err
 }
 
@@ -161,6 +163,7 @@ func (rt *Runtime) pokeWrite(addr uint64, old, data []byte) error {
 	if err := rt.pokeGuard(addr, old, data); err != nil {
 		return err
 	}
+	defer rt.phase("poke")()
 	rt.Stats.TextPokes++
 	pa, _ := rt.plat.(PokeAnnouncer)
 	phase := func(ph int, a uint64, oldB, newB []byte) error {
@@ -197,11 +200,14 @@ func (rt *Runtime) pokeWrite(addr uint64, old, data []byte) error {
 func (rt *Runtime) pokeGuard(addr uint64, old, data []byte) error {
 	n := uint64(len(data))
 	if sm, ok := rt.plat.(Stopper); ok {
+		endPhase := rt.phase("herd")
 		lat, err := sm.StopMachine([]machine.Range{{Addr: addr + 1, Len: n - 1}}, func() error { return nil })
 		if err != nil {
+			endPhase()
 			return fmt.Errorf("core: herding CPUs out of poke window [%#x,%#x): %w", addr, addr+n, err)
 		}
 		rt.noteRendezvous(lat, 1)
+		endPhase()
 	}
 	la, ok := rt.plat.(Activeness)
 	if !ok {
@@ -245,6 +251,9 @@ func (rt *Runtime) flushAck(addr, n uint64) {
 	}
 	for try := 0; try < maxFlushVerify && fv.ICacheStale(addr, n); try++ {
 		rt.Stats.FlushRetries++
+		if rt.Tracer != nil {
+			rt.Tracer.Emit(trace.KindFlushRetry, addr, n, uint64(try+1))
+		}
 		rt.plat.FlushICache(addr, n)
 	}
 }
@@ -325,7 +334,7 @@ func (rt *Runtime) deferOp(fs *funcState, k pendingKind) {
 		if k == pendingRevert {
 			op = 2
 		}
-		rt.Tracer.EmitName(trace.KindDeferred, fs.fd.Generic, op, 0, fs.fd.Name)
+		rt.Tracer.EmitName(trace.KindDeferred, fs.fd.Generic, op, uint64(len(rt.deferredOrder)), fs.fd.Name)
 	}
 }
 
@@ -343,8 +352,17 @@ func (rt *Runtime) DrainDeferred() (int, error) {
 	if len(rt.deferredOrder) == 0 {
 		return 0, nil
 	}
+	if reset := rt.beginOpSpan(); reset != nil {
+		defer reset()
+	}
 	pend := append([]*funcState(nil), rt.deferredOrder...)
 	done := 0
+	if rt.Tracer != nil {
+		rt.Tracer.Emit(trace.KindDrainBegin, 0, uint64(len(pend)), 0)
+		defer func() {
+			rt.Tracer.Emit(trace.KindDrainEnd, 0, uint64(done), uint64(len(rt.deferredOrder)))
+		}()
+	}
 	var errs []error
 	for _, fs := range pend {
 		k, ok := rt.deferredKind[fs]

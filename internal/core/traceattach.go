@@ -6,6 +6,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -89,4 +90,94 @@ func AttachTracer(col *trace.Collector, m *machine.Machine, rt *Runtime) *trace.
 // runtime (see the package-level AttachTracer).
 func (s *System) AttachTracer(col *trace.Collector) *trace.Stream {
 	return AttachTracer(col, s.Machine, s.RT)
+}
+
+// defaultFlightRecorder, when non-nil, is attached to every System
+// BuildSystem constructs — the difftests use it to pin cycle counts
+// bit-identical with the recorder attached and detached.
+var defaultFlightRecorder *trace.Recorder
+
+// SetDefaultFlightRecorder installs (or, with nil, removes) the flight
+// recorder BuildSystem auto-attaches to new systems.
+func SetDefaultFlightRecorder(r *trace.Recorder) { defaultFlightRecorder = r }
+
+// DefaultFlightRecorder returns the recorder BuildSystem attaches.
+func DefaultFlightRecorder() *trace.Recorder { return defaultFlightRecorder }
+
+// AttachFlightRecorder wires the always-on flight recorder into a
+// built system: it tees into the runtime's tracer hook (commit
+// lifecycle, retries, rollbacks), the memory system's hook (injected
+// faults) and the machine observer (shootdown broadcasts), and stamps
+// events from the primary CPU's cycle clock. It deliberately touches
+// no CPU tracer — the unobserved stepFast/superblock path stays
+// hook-free. The runtime will hand the recorder a failure dump on
+// commit abort and audit failure.
+//
+// Attach any opt-in collector (AttachTracer) first: AttachTracer
+// replaces the runtime's tracer outright, while this composes with
+// whatever is already there.
+func AttachFlightRecorder(rec *trace.Recorder, m *machine.Machine, rt *Runtime) {
+	rec.SetClock(m.CPU.Cycles)
+	m.Mem.Tracer = trace.NewTee(m.Mem.Tracer, rec)
+	m.Observer = trace.NewTee(m.Observer, rec)
+	if rt != nil {
+		rt.Tracer = trace.NewTee(rt.Tracer, rec)
+		rt.flight = rec
+	}
+}
+
+// AttachFlightRecorder wires the recorder into this system's machine
+// and runtime (see the package-level AttachFlightRecorder).
+func (s *System) AttachFlightRecorder(rec *trace.Recorder) {
+	AttachFlightRecorder(rec, s.Machine, s.RT)
+}
+
+// AttachWatchdog wires a cycle-domain invariant watchdog into a built
+// system: it observes the runtime's tracer hook (rendezvous latencies,
+// deferred-queue depths, flush retries) and the machine observer
+// (invalidation broadcasts), clocked from the primary CPU. Alerts are
+// re-emitted as KindWatchdogAlert events into whatever tracer chain
+// was attached before the watchdog (collector streams, the flight
+// recorder), so they land in traces and failure dumps.
+func AttachWatchdog(wd *trace.Watchdog, m *machine.Machine, rt *Runtime) {
+	wd.SetClock(m.CPU.Cycles)
+	if rt != nil {
+		wd.Sink = rt.Tracer
+		rt.Tracer = trace.NewTee(rt.Tracer, wd)
+	}
+	m.Observer = trace.NewTee(m.Observer, wd)
+}
+
+// AttachWatchdog wires the watchdog into this system's machine and
+// runtime (see the package-level AttachWatchdog).
+func (s *System) AttachWatchdog(wd *trace.Watchdog) {
+	AttachWatchdog(wd, s.Machine, s.RT)
+}
+
+// AttachTraceMetrics surfaces the collector's per-stream dropped-event
+// counts as mv_trace_dropped_events_total{stream=...}. Streams created
+// later (machine.AddCPU gives each hardware thread its own stream) are
+// picked up through the collector's new-stream observer.
+func AttachTraceMetrics(reg *metrics.Registry, col *trace.Collector) {
+	register := func(s *trace.Stream) {
+		reg.CounterFunc("mv_trace_dropped_events_total",
+			"Trace events overwritten because a stream's ring buffer was full.",
+			s.Dropped, metrics.L("stream", s.Label()))
+	}
+	for _, s := range col.Streams() {
+		register(s)
+	}
+	col.OnNewStream(register)
+}
+
+// AttachWatchdogMetrics exports each watchdog rule's fire count as
+// mv_watchdog_alerts_total{rule=...}. Every rule is registered up
+// front so a healthy run scrapes explicit zeros.
+func AttachWatchdogMetrics(reg *metrics.Registry, wd *trace.Watchdog) {
+	for _, rule := range wd.RuleNames() {
+		rule := rule
+		reg.CounterFunc("mv_watchdog_alerts_total",
+			"Cycle-domain watchdog invariant violations by rule.",
+			func() uint64 { return wd.Count(rule) }, metrics.L("rule", rule))
+	}
 }

@@ -51,6 +51,15 @@ type Machine struct {
 	// victim-CPU steps between protocol phases.
 	PokeHook func(phase int, addr, n uint64)
 
+	// Observer, when non-nil, receives machine-level observability
+	// events — today one KindFlushICache per FlushICacheAll broadcast
+	// (A = length, B = hardware threads invalidated). Unlike the
+	// per-CPU collector streams it rides no interpreter hot path, so
+	// the flight recorder and watchdog attach here (core.
+	// AttachFlightRecorder / AttachWatchdog) without disturbing the
+	// unobserved fast path.
+	Observer trace.Tracer
+
 	extraCPUs int        // secondary hardware threads added via AddCPU
 	cpus      []*cpu.CPU // every hardware thread, primary first
 	stackTops []uint64   // per-CPU stack top, parallel to cpus
@@ -93,6 +102,9 @@ func (m *Machine) Injector() Injector { return m.injector }
 func (m *Machine) FlushICacheAll(addr, n uint64) {
 	for _, c := range m.cpus {
 		c.FlushICache(addr, n)
+	}
+	if m.Observer != nil {
+		m.Observer.Emit(trace.KindFlushICache, addr, n, uint64(len(m.cpus)))
 	}
 }
 

@@ -17,7 +17,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	_, fams, byFam := r.gather()
 	for _, f := range fams {
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}
@@ -57,6 +57,14 @@ func writePromHist(w io.Writer, name, sig string, h HistSnapshot) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sig, h.Count)
 	return err
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash
+// and newline only (quotes stay literal, unlike label values).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
 }
 
 // mergeLabel appends key="value" to an existing {...} label block

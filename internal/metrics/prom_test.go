@@ -82,6 +82,35 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestExpositionEscaping pins every escape the text format requires:
+// label values escape backslash, double-quote and newline; HELP text
+// escapes backslash and newline (quotes stay literal). A raw newline
+// anywhere would tear the line-oriented format apart, so the test also
+// asserts each logical row is exactly one physical line.
+func TestExpositionEscaping(t *testing.T) {
+	r := New()
+	r.Counter("mv_esc_total", `help with \backslash
+and newline`, L("stream", "cpu\"0\"\\x\ny")).Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`# HELP mv_esc_total help with \\backslash\nand newline`,
+		`mv_esc_total{stream="cpu\"0\"\\x\ny"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "mv_esc_total") {
+			t.Errorf("line %d is a torn fragment: %q", i+1, line)
+		}
+	}
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	r := New()
 	r.SetClock(func() uint64 { return 42 })

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadSnapshotLog parses a JSONL sampler stream — one Snapshot per
+// line, as written by Sampler's jsonl format — and returns the
+// snapshots in order.
+//
+// A malformed FINAL row is tolerated and dropped: a sampled process
+// that dies (or is killed) mid-write leaves a truncated last line, and
+// the recording up to that point is still perfectly replayable. A
+// malformed row with more rows after it is corruption, not truncation,
+// and stays an error — as does a file whose only rows are bad.
+func ReadSnapshotLog(r io.Reader) ([]Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var snaps []Snapshot
+	var pending error // bad row seen; fatal unless it stays the last row
+	line := 0
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		line++
+		if text == "" {
+			continue
+		}
+		if pending != nil {
+			return nil, pending
+		}
+		var s Snapshot
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			pending = fmt.Errorf("line %d: %w", line, err)
+			continue
+		}
+		snaps = append(snaps, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pending != nil && len(snaps) == 0 {
+		return nil, pending
+	}
+	return snaps, nil
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSnapshotLog(t *testing.T) {
+	in := `{"cycle": 10, "metrics": []}
+{"cycle": 20, "metrics": []}
+
+{"cycle": 30, "metrics": []}
+`
+	snaps, err := ReadSnapshotLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for i, want := range []uint64{10, 20, 30} {
+		if snaps[i].Cycle != want {
+			t.Errorf("snaps[%d].Cycle = %d, want %d", i, snaps[i].Cycle, want)
+		}
+	}
+}
+
+// TestReadSnapshotLogTruncatedFinalRow covers the normal crash shape:
+// the sampled process died mid-write, leaving a torn last line. The
+// recording up to that point must replay.
+func TestReadSnapshotLogTruncatedFinalRow(t *testing.T) {
+	in := `{"cycle": 10, "metrics": []}
+{"cycle": 20, "metrics": []}
+{"cycle": 30, "metr`
+	snaps, err := ReadSnapshotLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("truncated final row must be tolerated, got: %v", err)
+	}
+	if len(snaps) != 2 || snaps[1].Cycle != 20 {
+		t.Fatalf("got %d snapshots (last cycle %d), want the 2 intact rows",
+			len(snaps), snaps[len(snaps)-1].Cycle)
+	}
+}
+
+// A bad row with valid rows after it is corruption, not truncation.
+func TestReadSnapshotLogRejectsMidFileCorruption(t *testing.T) {
+	in := `{"cycle": 10, "metrics": []}
+{"cycle": 20, "metr
+{"cycle": 30, "metrics": []}
+`
+	if _, err := ReadSnapshotLog(strings.NewReader(in)); err == nil {
+		t.Fatal("mid-file corruption must be an error")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name the bad line: %v", err)
+	}
+}
+
+// A file whose only row is bad has nothing to salvage.
+func TestReadSnapshotLogRejectsAllBad(t *testing.T) {
+	if _, err := ReadSnapshotLog(strings.NewReader(`{"cycle": bogus`)); err == nil {
+		t.Fatal("a lone bad row must be an error")
+	}
+}
+
+func TestReadSnapshotLogEmpty(t *testing.T) {
+	snaps, err := ReadSnapshotLog(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 {
+		t.Fatalf("got %d snapshots from empty input", len(snaps))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Chrome trace-event export (the JSON format Perfetto and
@@ -22,6 +23,8 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   uint64         `json:"id,omitempty"` // flow-event binding id (the span)
+	Bp   string         `json:"bp,omitempty"` // "e": bind flow end to enclosing slice
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -44,8 +47,14 @@ func (k Kind) cat() string {
 		return "cpu"
 	case KindFaultInjected:
 		return "fault"
-	case KindCommitRetry, KindCommitAbort, KindRollback:
+	case KindCommitRetry, KindCommitAbort, KindRollback, KindFlushRetry:
 		return "txn"
+	case KindTrap, KindPokePhase, KindRendezvous, KindDeferred, KindDrainBegin, KindDrainEnd:
+		return "xmod"
+	case KindPhaseBegin, KindPhaseEnd:
+		return "runtime"
+	case KindWatchdogAlert:
+		return "watchdog"
 	}
 	return "other"
 }
@@ -117,6 +126,42 @@ func (c *Collector) args(ev Event) map[string]any {
 	case KindRollback:
 		sym(ev.Addr)
 		a["len"] = ev.A
+	case KindTrap:
+		sym(ev.Addr)
+	case KindPokePhase:
+		sym(ev.Addr)
+		a["len"] = ev.A
+		a["phase"] = ev.B
+	case KindRendezvous:
+		a["latency"] = ev.A
+		a["ranges"] = ev.B
+	case KindDeferred:
+		sym(ev.Addr)
+		if ev.A == 2 {
+			a["op"] = "revert"
+		} else {
+			a["op"] = "commit"
+		}
+		a["func"] = ev.Name
+		a["depth"] = ev.B
+	case KindFlushRetry:
+		sym(ev.Addr)
+		a["len"] = ev.A
+		a["retry"] = ev.B
+	case KindDrainBegin:
+		a["queued"] = ev.A
+	case KindDrainEnd:
+		a["applied"] = ev.A
+		a["queued"] = ev.B
+	case KindPhaseBegin, KindPhaseEnd:
+		a["phase"] = ev.Name
+	case KindWatchdogAlert:
+		a["rule"] = ev.Name
+		a["value"] = ev.A
+		a["threshold"] = ev.B
+	}
+	if ev.Span != 0 {
+		a["span"] = ev.Span
 	}
 	if len(a) == 0 {
 		return nil
@@ -147,11 +192,21 @@ func (k Kind) spanBegin() (Kind, bool) {
 		return KindCommitEnd, true
 	case KindRevertBegin:
 		return KindRevertEnd, true
+	case KindDrainBegin:
+		return KindDrainEnd, true
+	case KindPhaseBegin:
+		return KindPhaseEnd, true
 	}
 	return 0, false
 }
 
-func (k Kind) spanEnd() bool { return k == KindCommitEnd || k == KindRevertEnd }
+func (k Kind) spanEnd() bool {
+	switch k {
+	case KindCommitEnd, KindRevertEnd, KindDrainEnd, KindPhaseEnd:
+		return true
+	}
+	return false
+}
 
 // WriteChromeTrace writes every buffered event, merged across
 // streams, as Chrome trace-event JSON.
@@ -177,17 +232,54 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	pending := make(map[int][]open)
 	var lastCycle uint64
 	emitSpan := func(begin Event, endCycle uint64, args map[string]any) {
+		name := begin.Kind.String()
+		if begin.Kind == KindPhaseBegin && begin.Name != "" {
+			// Sub-phase slices read better under their phase name
+			// ("herd", "poke", "rollback") than a generic "Phase".
+			name = begin.Name
+		}
 		dur := float64(endCycle - begin.Cycle)
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name: begin.Kind.String(), Cat: begin.Kind.cat(), Ph: "X",
+			Name: name, Cat: begin.Kind.cat(), Ph: "X",
 			Ts: float64(begin.Cycle), Dur: &dur, Pid: 0, Tid: begin.Stream,
 			Args: args,
 		})
+	}
+	// Commit-causality flow tracking: for each span, remember the first
+	// event per stream and the last event overall, so flow arrows can
+	// connect a commit's work across CPUs.
+	type flowState struct {
+		firstCycle  uint64
+		firstStream int
+		perStream   map[int]uint64 // stream -> first cycle on that stream
+		lastCycle   uint64
+		lastStream  int
+	}
+	flows := map[uint64]*flowState{}
+	var flowOrder []uint64
+	noteFlow := func(ev Event) {
+		if ev.Span == 0 {
+			return
+		}
+		f := flows[ev.Span]
+		if f == nil {
+			f = &flowState{
+				firstCycle: ev.Cycle, firstStream: ev.Stream,
+				perStream: map[int]uint64{},
+			}
+			flows[ev.Span] = f
+			flowOrder = append(flowOrder, ev.Span)
+		}
+		if _, ok := f.perStream[ev.Stream]; !ok {
+			f.perStream[ev.Stream] = ev.Cycle
+		}
+		f.lastCycle, f.lastStream = ev.Cycle, ev.Stream
 	}
 	for _, ev := range events {
 		if ev.Cycle > lastCycle {
 			lastCycle = ev.Cycle
 		}
+		noteFlow(ev)
 		if end, ok := ev.Kind.spanBegin(); ok {
 			pending[ev.Stream] = append(pending[ev.Stream], open{end: end, ev: ev})
 			continue
@@ -225,6 +317,50 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		for _, o := range stack {
 			emitSpan(o.ev, lastCycle, nil)
 		}
+	}
+
+	// Flow events: one s→t…→f chain per commit-causality span that
+	// touched more than one stream, so Perfetto draws arrows from the
+	// committing CPU to the victims it trapped and shot down.
+	for _, span := range flowOrder {
+		f := flows[span]
+		if len(f.perStream) < 2 {
+			continue
+		}
+		name := fmt.Sprintf("span %d", span)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: "flow", Ph: "s", ID: span,
+			Ts: float64(f.firstCycle), Pid: 0, Tid: f.firstStream,
+		})
+		// Step through each other stream's first sighting in cycle
+		// order (ties by stream id, for deterministic output).
+		type hop struct {
+			stream int
+			cycle  uint64
+		}
+		var hops []hop
+		for st, cy := range f.perStream {
+			if st == f.firstStream {
+				continue
+			}
+			hops = append(hops, hop{st, cy})
+		}
+		sort.Slice(hops, func(i, j int) bool {
+			if hops[i].cycle != hops[j].cycle {
+				return hops[i].cycle < hops[j].cycle
+			}
+			return hops[i].stream < hops[j].stream
+		})
+		for _, h := range hops {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: "flow", Ph: "t", ID: span,
+				Ts: float64(h.cycle), Pid: 0, Tid: h.stream,
+			})
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: "flow", Ph: "f", ID: span, Bp: "e",
+			Ts: float64(f.lastCycle), Pid: 0, Tid: f.lastStream,
+		})
 	}
 
 	enc := json.NewEncoder(w)

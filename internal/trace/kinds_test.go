@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestEveryKindIsFullyRendered walks the whole kind space and asserts
+// each kind carries every encoding the tooling relies on: a unique
+// wire name that round-trips through ParseKind (flight dumps), a
+// Chrome display name and category, and a rendering in the Chrome
+// export. Adding a kind without extending those tables fails here
+// instead of silently exporting "Unknown"/"other" rows.
+func TestEveryKindIsFullyRendered(t *testing.T) {
+	seen := map[string]Kind{}
+	for i := 0; i < KindCount; i++ {
+		k := Kind(i)
+
+		name := k.Name()
+		if name == "" || name == "Unknown" {
+			t.Errorf("kind %d has no wire name", i)
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share wire name %q", prev, k, name)
+		}
+		seen[name] = k
+		if got, ok := ParseKind(name); !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, got, ok, k)
+		}
+
+		if k.String() == "Unknown" {
+			t.Errorf("kind %s has no Chrome display name", name)
+		}
+		if k.cat() == "other" {
+			t.Errorf("kind %s has no Perfetto category", name)
+		}
+	}
+}
+
+// Every kind must survive the flight-dump JSON encoding bit-exactly.
+func TestEveryKindFlightEncodes(t *testing.T) {
+	for i := 0; i < KindCount; i++ {
+		ev := Event{
+			Cycle: 123, Kind: Kind(i), Addr: 0x400,
+			A: 7, B: 9, Span: 2, Name: "payload",
+		}
+		data, err := json.Marshal(EncodeFlightEvent(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fe FlightEvent
+		if err := json.Unmarshal(data, &fe); err != nil {
+			t.Fatal(err)
+		}
+		back, err := fe.Event()
+		if err != nil {
+			t.Errorf("kind %s: %v", Kind(i).Name(), err)
+			continue
+		}
+		if back != ev {
+			t.Errorf("kind %s: round trip %+v != %+v", Kind(i).Name(), back, ev)
+		}
+	}
+}
+
+// Every kind must produce a visible row (span, instant or flow) in the
+// Chrome export — not vanish into an unhandled case.
+func TestEveryKindChromeExports(t *testing.T) {
+	for i := 0; i < KindCount; i++ {
+		k := Kind(i)
+		c := NewCollector(Options{})
+		var cyc uint64
+		s := c.NewStream("cpu0", func() uint64 { return cyc })
+		s.EmitName(k, 0x400, 1, 2, "payload")
+		if end, ok := k.spanBegin(); ok {
+			cyc = 10
+			s.EmitName(end, 0x400, 1, 2, "payload")
+		}
+		var buf bytes.Buffer
+		if err := c.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("kind %s: export is not valid JSON: %v", k.Name(), err)
+		}
+		visible := 0
+		for _, ev := range out.TraceEvents {
+			if ev["ph"] == "M" { // metadata rows don't count
+				continue
+			}
+			visible++
+		}
+		if visible == 0 {
+			t.Errorf("kind %s produced no visible Chrome event", k.Name())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+// Tee fans every tracer call out to multiple sinks, so the always-on
+// flight recorder and the cycle-domain watchdog can ride alongside an
+// opt-in collector stream on the same hook. Span updates are forwarded
+// to every sink that carries spans.
+type Tee struct {
+	sinks []Tracer
+}
+
+// NewTee composes sinks into one Tracer, dropping nils. It returns nil
+// for no sinks and the sink itself for exactly one, so composing onto
+// an unset hook costs nothing.
+func NewTee(sinks ...Tracer) Tracer {
+	var out []Tracer
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		// Flatten nested tees so repeated attachment stays shallow.
+		if t, ok := s.(*Tee); ok {
+			out = append(out, t.sinks...)
+			continue
+		}
+		out = append(out, s)
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return &Tee{sinks: out}
+}
+
+// Emit implements Tracer.
+func (t *Tee) Emit(k Kind, addr, a, b uint64) {
+	for _, s := range t.sinks {
+		s.Emit(k, addr, a, b)
+	}
+}
+
+// EmitName implements Tracer.
+func (t *Tee) EmitName(k Kind, addr, a, b uint64, name string) {
+	for _, s := range t.sinks {
+		s.EmitName(k, addr, a, b, name)
+	}
+}
+
+// Step implements Tracer.
+func (t *Tee) Step(pc, cycles uint64) {
+	for _, s := range t.sinks {
+		s.Step(pc, cycles)
+	}
+}
+
+// Call implements Tracer.
+func (t *Tee) Call(pc, target uint64) {
+	for _, s := range t.sinks {
+		s.Call(pc, target)
+	}
+}
+
+// Ret implements Tracer.
+func (t *Tee) Ret(pc, target uint64) {
+	for _, s := range t.sinks {
+		s.Ret(pc, target)
+	}
+}
+
+// SetSpan implements SpanCarrier, forwarding to every span-carrying sink.
+func (t *Tee) SetSpan(id uint64) {
+	for _, s := range t.sinks {
+		if sc, ok := s.(SpanCarrier); ok {
+			sc.SetSpan(id)
+		}
+	}
+}

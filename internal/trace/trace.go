@@ -68,8 +68,75 @@ const (
 	KindTrap       // Addr = pc that fetched a BRK byte
 	KindPokePhase  // Addr = poked range start, A = length, B = phase (1 BRK in, 2 tail, 3 first byte)
 	KindRendezvous // Addr = 0, A = rendezvous latency in cycles, B = CPUs quiesced
-	KindDeferred   // Addr = function entry, A = 1 commit / 2 revert, Name = function
+	KindDeferred   // Addr = function entry, A = 1 commit / 2 revert, B = queue depth, Name = function
+
+	// Observability events (internal/core, flight.go, watchdog.go).
+	KindFlushRetry    // Addr = range start, A = length, B = re-broadcast attempt
+	KindDrainBegin    // a deferred-queue drain starts; A = queued operations
+	KindDrainEnd      // A = operations applied, B = operations still queued
+	KindPhaseBegin    // commit sub-phase opens; Name = phase ("herd", "poke", "rollback", ...)
+	KindPhaseEnd      // commit sub-phase closes; Name = phase
+	KindWatchdogAlert // A = observed value, B = threshold, Name = rule
+
+	kindSentinel // count marker; keep last
 )
+
+// KindCount is the number of defined event kinds; reflection-style
+// tests iterate Kind(0)..Kind(KindCount-1) to assert every kind has a
+// Chrome-export category and a flight-recorder JSON encoding.
+const KindCount = int(kindSentinel)
+
+// kindNames gives each kind a unique, stable wire name — the encoding
+// used by flight-recorder dumps, where Begin/End pairs must stay
+// distinguishable (unlike String, which folds them for Chrome span
+// display).
+var kindNames = [KindCount]string{
+	KindCommitBegin:     "CommitBegin",
+	KindCommitEnd:       "CommitEnd",
+	KindRevertBegin:     "RevertBegin",
+	KindRevertEnd:       "RevertEnd",
+	KindSwitchValue:     "SwitchValue",
+	KindPatchSite:       "PatchSite",
+	KindProloguePatch:   "ProloguePatch",
+	KindPrologueRestore: "PrologueRestore",
+	KindProtect:         "Protect",
+	KindFlushICache:     "FlushICache",
+	KindInterrupt:       "Interrupt",
+	KindMispredict:      "Mispredict",
+	KindFaultInjected:   "FaultInjected",
+	KindCommitRetry:     "CommitRetry",
+	KindCommitAbort:     "CommitAbort",
+	KindRollback:        "Rollback",
+	KindTrap:            "Trap",
+	KindPokePhase:       "PokePhase",
+	KindRendezvous:      "Rendezvous",
+	KindDeferred:        "Deferred",
+	KindFlushRetry:      "FlushRetry",
+	KindDrainBegin:      "DrainBegin",
+	KindDrainEnd:        "DrainEnd",
+	KindPhaseBegin:      "PhaseBegin",
+	KindPhaseEnd:        "PhaseEnd",
+	KindWatchdogAlert:   "WatchdogAlert",
+}
+
+// Name returns the kind's unique wire name (flight-dump encoding).
+func (k Kind) Name() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "Unknown"
+}
+
+// ParseKind resolves a wire name produced by Kind.Name back to the
+// kind, so flight dumps round-trip through JSON.
+func ParseKind(name string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
 
 // String names the kind as exported to Chrome traces.
 func (k Kind) String() string {
@@ -110,6 +177,14 @@ func (k Kind) String() string {
 		return "Rendezvous"
 	case KindDeferred:
 		return "Deferred"
+	case KindFlushRetry:
+		return "FlushRetry"
+	case KindDrainBegin, KindDrainEnd:
+		return "Drain"
+	case KindPhaseBegin, KindPhaseEnd:
+		return "Phase"
+	case KindWatchdogAlert:
+		return "WatchdogAlert"
 	}
 	return "Unknown"
 }
@@ -117,12 +192,30 @@ func (k Kind) String() string {
 // Event is one recorded occurrence. The meaning of Addr, A and B is
 // per Kind (see the constants above).
 type Event struct {
-	Cycle  uint64
-	Addr   uint64
-	A, B   uint64
+	Cycle uint64
+	Addr  uint64
+	A, B  uint64
+	// Span is the commit-causality span the event belongs to: the
+	// monotonic id core.Runtime assigns to each public commit, revert
+	// or drain operation. 0 means "outside any operation". Because the
+	// span is collector-wide, events on every stream — the victim CPU's
+	// BRK trap, a secondary thread's icache shootdown, the memory
+	// system's protection flip — carry the id of the commit that caused
+	// them, which is what lets the Chrome export draw cross-CPU flow
+	// arrows for a single commit.
+	Span   uint64
 	Name   string // optional symbolic label (switch or function name)
 	Kind   Kind
 	Stream int // id of the emitting Stream
+}
+
+// SpanCarrier is implemented by tracer sinks that stamp emitted events
+// with the current commit-causality span. core.Runtime probes its
+// Tracer for this interface at the start and end of every public
+// operation; sinks that don't implement it simply record span 0.
+type SpanCarrier interface {
+	// SetSpan installs the current span id; 0 clears it.
+	SetSpan(id uint64)
 }
 
 // Tracer is the hook interface the simulated stack calls into. A nil
@@ -171,6 +264,13 @@ type Collector struct {
 	// symtab is kept even without profiling so the Chrome exporter
 	// can annotate addresses with function names.
 	symtab *SymTable
+	// span is the collector-wide current commit-causality span; every
+	// stream stamps it into recorded events (see Event.Span).
+	span uint64
+	// onNew observes streams created after OnNewStream was called
+	// (AddCPU creates streams for late hardware threads; metric
+	// attachment needs to see them).
+	onNew func(*Stream)
 }
 
 // NewCollector returns an empty collector.
@@ -216,8 +316,17 @@ func (c *Collector) NewStream(label string, clock func() uint64) *Stream {
 		buf:   make([]Event, 0, c.limit),
 	}
 	c.streams = append(c.streams, s)
+	if c.onNew != nil {
+		c.onNew(s)
+	}
 	return s
 }
+
+// OnNewStream registers an observer for streams created after this
+// call (existing streams are the caller's to enumerate via Streams).
+// core.AttachTraceMetrics uses it to register dropped-event counters
+// for the per-CPU streams AddCPU creates later.
+func (c *Collector) OnNewStream(f func(*Stream)) { c.onNew = f }
 
 // Streams returns the collector's streams in creation order.
 func (c *Collector) Streams() []*Stream { return c.streams }
@@ -318,10 +427,15 @@ func (s *Stream) Events() []Event {
 
 // Emit implements Tracer.
 func (s *Stream) Emit(k Kind, addr, a, b uint64) {
-	s.record(Event{Cycle: s.now(), Kind: k, Addr: addr, A: a, B: b, Stream: s.id})
+	s.record(Event{Cycle: s.now(), Kind: k, Addr: addr, A: a, B: b, Span: s.col.span, Stream: s.id})
 }
 
 // EmitName implements Tracer.
 func (s *Stream) EmitName(k Kind, addr, a, b uint64, name string) {
-	s.record(Event{Cycle: s.now(), Kind: k, Addr: addr, A: a, B: b, Name: name, Stream: s.id})
+	s.record(Event{Cycle: s.now(), Kind: k, Addr: addr, A: a, B: b, Span: s.col.span, Name: name, Stream: s.id})
 }
+
+// SetSpan implements SpanCarrier: the span is collector-wide, so a
+// commit's id reaches every stream — including the per-CPU streams of
+// hardware threads the commit shoots down or traps.
+func (s *Stream) SetSpan(id uint64) { s.col.span = id }

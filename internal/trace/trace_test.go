@@ -232,6 +232,65 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+// TestChromeTraceFlowEvents pins the cross-CPU causality rendering: a
+// commit span whose events land on two streams (the committing CPU and
+// a victim CPU trapping on the patched site) must export Chrome flow
+// events (ph "s" ... "f" with the span as id) tying the streams
+// together in Perfetto. Single-stream spans get no flow arrows.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	c := NewCollector(Options{})
+	t0, t1 := uint64(0), uint64(0)
+	s0 := c.NewStream("cpu0", func() uint64 { return t0 })
+	s1 := c.NewStream("cpu1", func() uint64 { return t1 })
+
+	s0.SetSpan(9) // collector-wide: both streams stamp span 9
+	s0.Emit(KindCommitBegin, 0, 0, 0)
+	t1 = 5
+	s1.EmitName(KindTrap, 0x400, 0, 0, "multi") // victim CPU, same span
+	t0 = 10
+	s0.Emit(KindCommitEnd, 0, 1, 0)
+	s0.SetSpan(0)
+	t0 = 20
+	s0.Emit(KindRevertBegin, 0, 0, 0) // unspanned: no flow
+	t0 = 25
+	s0.Emit(KindRevertEnd, 0, 0, 0)
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	byPh := map[string][]map[string]any{}
+	for _, ev := range out.TraceEvents {
+		ph := ev["ph"].(string)
+		byPh[ph] = append(byPh[ph], ev)
+	}
+	if len(byPh["s"]) != 1 || len(byPh["f"]) != 1 {
+		t.Fatalf("want one flow start and one finish, got s=%d f=%d:\n%s",
+			len(byPh["s"]), len(byPh["f"]), buf.String())
+	}
+	start, finish := byPh["s"][0], byPh["f"][0]
+	if start["id"].(float64) != 9 || finish["id"].(float64) != 9 {
+		t.Errorf("flow events should carry the span as id: s=%v f=%v", start, finish)
+	}
+	// The chain must visit both streams: start on the committing CPU,
+	// a "t" hop where the victim CPU first saw the span.
+	tids := map[any]bool{start["tid"]: true, finish["tid"]: true}
+	for _, hop := range byPh["t"] {
+		if hop["id"].(float64) == 9 {
+			tids[hop["tid"]] = true
+		}
+	}
+	if len(tids) < 2 {
+		t.Errorf("flow chain should cross streams, saw tids %v:\n%s", tids, buf.String())
+	}
+}
+
 func TestChromeTraceUnmatchedEndDegradesToInstant(t *testing.T) {
 	c := NewCollector(Options{})
 	s := c.NewStream("cpu0", nil)
