@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke trace-smoke bench
+.PHONY: check fmt vet build test race smoke trace-smoke checkpoint-smoke bench
 
-check: fmt vet build test race smoke trace-smoke
+check: fmt vet build test race smoke trace-smoke checkpoint-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -51,6 +51,50 @@ trace-smoke:
 		-flight /tmp/mv-trace-smoke.flight.json /tmp/mv-trace-smoke.img > /dev/null
 	@$(GO) run ./cmd/mvtrace /tmp/mv-trace-smoke.flight.json > /dev/null
 	@$(GO) run ./cmd/mvtrace -timeline /tmp/mv-trace-smoke.flight.json
+
+# Snapshot/record-replay smoke: checkpoint a run mid-flight, restore
+# it, and re-checkpoint the resumed run at a later cycle — the resumed
+# snapshot must be byte-identical to one the uninterrupted run takes
+# at the same cycle (the encoding is canonical, so cmp compares
+# digests). Then drive mvdbg's time travel over the same image in
+# batch mode: rewinding across a BRK-poke commit and re-running must
+# land on the digest forward execution produced.
+checkpoint-smoke:
+	@printf '%s\n' \
+		'multiverse int mode;' \
+		'long work;' \
+		'multiverse void step(void) { if (mode) { work += 3; } else { work += 1; } }' \
+		'long spin(long n) { long i; for (i = 0; i < n; i++) { step(); } return work; }' \
+		> /tmp/mv-ckpt-smoke.mvc
+	@$(GO) run ./cmd/mvcc -o /tmp/mv-ckpt-smoke.img /tmp/mv-ckpt-smoke.mvc
+	@$(GO) run ./cmd/mvrun -entry spin -args 400 -checkpoint 1000 \
+		-checkpoint-out /tmp/mv-ckpt-mid.snap /tmp/mv-ckpt-smoke.img > /dev/null
+	@$(GO) run ./cmd/mvrun -entry spin -args 400 -checkpoint 2500 \
+		-checkpoint-out /tmp/mv-ckpt-full.snap /tmp/mv-ckpt-smoke.img > /dev/null
+	@$(GO) run ./cmd/mvrun -restore /tmp/mv-ckpt-mid.snap -checkpoint 2500 \
+		-checkpoint-out /tmp/mv-ckpt-resumed.snap /tmp/mv-ckpt-smoke.img > /dev/null
+	@if ! cmp -s /tmp/mv-ckpt-full.snap /tmp/mv-ckpt-resumed.snap; then \
+		echo "restore-then-run snapshot differs from the uninterrupted run's:"; \
+		$(GO) run ./cmd/mvtrace -snap /tmp/mv-ckpt-full.snap; \
+		$(GO) run ./cmd/mvtrace -snap /tmp/mv-ckpt-resumed.snap; exit 1; fi
+	@$(GO) run ./cmd/mvtrace -snap /tmp/mv-ckpt-resumed.snap
+	@printf '%s\n' \
+		'call spin 400' \
+		'run 2004' \
+		'set mode=1' \
+		'commit' \
+		'run 1500' \
+		'digest' \
+		'back 2000' \
+		'run 2000' \
+		'digest' \
+		'quit' \
+		| $(GO) run ./cmd/mvdbg -poke -batch /tmp/mv-ckpt-smoke.img > /tmp/mv-ckpt-dbg.txt
+	@if [ "$$(grep -c '^digest ' /tmp/mv-ckpt-dbg.txt)" -ne 2 ] || \
+		[ "$$(grep '^digest ' /tmp/mv-ckpt-dbg.txt | sort -u | wc -l)" -ne 1 ]; then \
+		echo "mvdbg time travel did not reproduce the forward digest:"; \
+		cat /tmp/mv-ckpt-dbg.txt; exit 1; fi
+	@grep '^digest ' /tmp/mv-ckpt-dbg.txt | head -1
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,283 @@
+// Command mvdbg is a time-travel debugger for simulated multiverse
+// machines. It drives one deterministic timeline — cycle advances and
+// host-driven runtime operations — and can rewind it: `back N`
+// restores the nearest keyframe snapshot and re-executes forward. The
+// rewound-over future stays on the timeline, so a subsequent `run`
+// replays it — stepping backwards through a commit (including the BRK
+// text-poke protocol) and forward again lands on the exact state,
+// digest-identical to the first pass. A new write operation (call,
+// set, commit, revert) issued mid-timeline discards the stale future.
+//
+//	mvdbg [-poke] [-defer] [-restore file.snap] image
+//
+// -restore opens the session at a captured snapshot — a mvrun
+// checkpoint, a -flight-snap failure capture, or a chaos
+// <artifact>.snap pin — so debugging starts at the failure point
+// with no re-run from cycle zero.
+//
+// Commands (also: help):
+//
+//	call NAME [ARG...]   start a call (halt stub as return address)
+//	run [N]              advance N cycles (to the halt stub if omitted)
+//	back N               rewind N cycles via keyframe + re-execution
+//	break [CLASS]        toggle break on commit|trap|watchdog; bare: list
+//	set NAME=VALUE       write a global / configuration switch
+//	commit | revert      run the multiverse operation
+//	state                runtime binding report (mvrun -state view)
+//	dis [ADDR|SYM [N]]   disassemble N instructions (default: at pc)
+//	spans                commit-causality spans since the last rewind
+//	digest               canonical snapshot digest of the current state
+//	where                current cycle, pc, timeline size
+//	quit
+//
+// With stdin piped (batch mode) mvdbg executes the script and exits
+// non-zero at the first failing command — the form `make
+// checkpoint-smoke` and CI drive.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dbg"
+	"repro/internal/link"
+)
+
+var (
+	poke = flag.Bool("poke", false,
+		"commit via the BRK text-poke protocol (ModeTextPoke) instead of the parked-CPU contract")
+	deferOnActive = flag.Bool("defer", false,
+		"defer (rather than refuse) commits that find the function active on a stack")
+	batch = flag.Bool("batch", false,
+		"batch mode: no prompt, echo commands, abort on the first error (default when stdin is not a terminal)")
+	restore = flag.String("restore", "",
+		"open at this snapshot (a mvrun checkpoint, -flight-snap capture, or chaos <artifact>.snap) instead of cycle zero")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mvdbg [-poke] [-defer] [-batch] [-restore file.snap] image")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "mvdbg: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	img, err := link.ReadImage(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var opts dbg.Options
+	if *poke {
+		opts.Commit.Mode = core.ModeTextPoke
+	}
+	if *deferOnActive {
+		opts.Commit.OnActive = core.ActiveDefer
+	}
+	if *restore != "" {
+		// Open the debugger at a captured state — a mvrun checkpoint,
+		// a -flight-snap failure capture, or a chaos <artifact>.snap —
+		// instead of at cycle zero.
+		snap, rerr := os.ReadFile(*restore)
+		if rerr != nil {
+			return rerr
+		}
+		opts.Snapshot = snap
+	}
+	s, err := dbg.New(img, opts)
+	if err != nil {
+		return err
+	}
+	// A non-terminal stdin means a script is being piped in; behave
+	// like -batch so a failing step fails the pipeline.
+	scripted := *batch
+	if fi, serr := os.Stdin.Stat(); serr == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		scripted = true
+	}
+
+	fmt.Printf("mvdbg: %s — %s\n", path, s.Where())
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		if !scripted {
+			fmt.Print("(mvdbg) ")
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if scripted {
+			fmt.Printf("(mvdbg) %s\n", line)
+		}
+		quit, cerr := exec(s, line)
+		if cerr != nil {
+			if scripted {
+				return fmt.Errorf("%s: %w", line, cerr)
+			}
+			fmt.Printf("error: %v\n", cerr)
+		}
+		if quit {
+			return nil
+		}
+	}
+}
+
+// exec dispatches one command line against the session.
+func exec(s *dbg.Session, line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "q", "exit":
+		return true, nil
+	case "help", "h":
+		fmt.Print(helpText)
+	case "call":
+		if len(args) == 0 {
+			return false, fmt.Errorf("usage: call NAME [ARG...]")
+		}
+		vals := make([]uint64, len(args)-1)
+		for i, a := range args[1:] {
+			v, perr := strconv.ParseUint(a, 0, 64)
+			if perr != nil {
+				return false, perr
+			}
+			vals[i] = v
+		}
+		if err := s.Call(args[0], vals...); err != nil {
+			return false, err
+		}
+		fmt.Println(s.Where())
+	case "run", "r", "c", "continue":
+		var n uint64
+		if len(args) > 0 {
+			if n, err = strconv.ParseUint(args[0], 0, 64); err != nil {
+				return false, err
+			}
+			if n == 0 {
+				return false, fmt.Errorf("run 0 advances nothing; omit N to run to the halt stub")
+			}
+		}
+		out, err := s.Run(n)
+		if err != nil {
+			return false, err
+		}
+		fmt.Println(out)
+	case "back", "b":
+		if len(args) == 0 {
+			return false, fmt.Errorf("usage: back N (cycles)")
+		}
+		n, perr := strconv.ParseUint(args[0], 0, 64)
+		if perr != nil {
+			return false, perr
+		}
+		out, err := s.Back(n)
+		if err != nil {
+			return false, err
+		}
+		fmt.Println(out)
+	case "break":
+		if len(args) == 0 {
+			bs := s.Breaks()
+			if len(bs) == 0 {
+				fmt.Println("no breaks armed (break commit|trap|watchdog)")
+			} else {
+				fmt.Printf("armed: %s\n", strings.Join(bs, ", "))
+			}
+			return false, nil
+		}
+		on, err := s.ToggleBreak(args[0])
+		if err != nil {
+			return false, err
+		}
+		state := "disarmed"
+		if on {
+			state = "armed"
+		}
+		fmt.Printf("break %s %s\n", args[0], state)
+	case "set":
+		if len(args) != 1 || !strings.Contains(args[0], "=") {
+			return false, fmt.Errorf("usage: set NAME=VALUE")
+		}
+		name, valStr, _ := strings.Cut(args[0], "=")
+		v, perr := strconv.ParseInt(valStr, 0, 64)
+		if perr != nil {
+			return false, perr
+		}
+		if err := s.Set(name, uint64(v)); err != nil {
+			return false, err
+		}
+		fmt.Printf("%s = %d\n", name, v)
+	case "commit":
+		res, err := s.Commit()
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("commit: %d bound, %d generic\n", res.Committed, res.Generic)
+	case "revert":
+		if err := s.Revert(); err != nil {
+			return false, err
+		}
+		fmt.Println("reverted")
+	case "state":
+		fmt.Print(s.State())
+	case "dis":
+		addr, count := "", 8
+		if len(args) > 0 {
+			addr = args[0]
+		}
+		if len(args) > 1 {
+			if count, err = strconv.Atoi(args[1]); err != nil {
+				return false, err
+			}
+		}
+		out, err := s.Disassemble(addr, count)
+		if err != nil {
+			return false, err
+		}
+		fmt.Print(out)
+	case "spans":
+		fmt.Print(s.Spans())
+	case "digest":
+		d, err := s.Digest()
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("digest %s\n", d)
+	case "where", "w":
+		fmt.Println(s.Where())
+	default:
+		return false, fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return false, nil
+}
+
+const helpText = `commands:
+  call NAME [ARG...]   start a call (halt stub as return address)
+  run [N]              advance N cycles (omit N: run to the halt stub)
+  back N               rewind N cycles (keyframe restore + re-execute)
+  break [CLASS]        toggle break on commit|trap|watchdog; bare: list
+  set NAME=VALUE       write a global / configuration switch
+  commit / revert      run the multiverse operation
+  state                runtime binding report
+  dis [ADDR|SYM [N]]   disassemble (default: 8 instructions at pc)
+  spans                commit-causality spans since the last rewind
+  digest               canonical snapshot digest of the current state
+  where                current cycle, pc, timeline size
+  quit
+`

@@ -3,8 +3,9 @@
 // and reports the result, the console output and the cycle count.
 //
 //	mvrun [-entry main] [-args a,b,...] [-set var=value]... [-commit] [-audit] [-wx] \
-//	      [-trace out.json] [-profile out.folded] [-flight out.json] \
+//	      [-trace out.json] [-profile out.folded] [-flight out.json] [-flight-snap] \
 //	      [-watchdog] [-watchdog-rules name=value,...] \
+//	      [-checkpoint cycles|on-commit] [-checkpoint-out file.snap] [-restore file.snap] \
 //	      [-metrics-addr :9090] [-sample out.jsonl] [-repeat n] image
 package main
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -58,6 +60,14 @@ var (
 		"write periodic metric samples to this file (mvtop -file replays it)")
 	sampleEvery = flag.Uint64("sample-every", 100000, "simulated cycles between samples")
 	sampleFmt   = flag.String("sample-format", "jsonl", "sample file format: jsonl or csv")
+	checkpoint  = flag.String("checkpoint", "",
+		"capture a deterministic machine snapshot: a simulated-cycle count (pause the run there), or on-commit (right after -commit)")
+	checkpointOut = flag.String("checkpoint-out", "", "snapshot output path (default <image>.snap)")
+	restorePath   = flag.String("restore", "",
+		"restore machine+runtime state from a snapshot and run the interrupted call to completion (excludes -set/-commit/-args/-repeat)")
+	flightSnap = flag.Bool("flight-snap", false,
+		"with -flight: also write a machine snapshot next to the flight dump when a failure is recorded (<flight>.snap)")
+
 	repeat      = flag.Int("repeat", 1, "call the entry function this many times")
 	superblocks = flag.Bool("superblocks", cpu.SuperblocksDefault(),
 		"use the superblock threaded-dispatch interpreter (cycle counts are identical either way; also MV_SUPERBLOCKS=off)")
@@ -80,6 +90,40 @@ func main() {
 }
 
 func run(path string) (err error) {
+	// Validate the checkpoint/restore flag grammar before touching the
+	// image, so misuse fails fast.
+	ckptPath := *checkpointOut
+	if ckptPath == "" {
+		ckptPath = path + ".snap"
+	}
+	var ckptCycle uint64
+	ckptOnCommit := false
+	switch {
+	case *checkpoint == "":
+	case *checkpoint == "on-commit":
+		ckptOnCommit = true
+		if !*commit {
+			return fmt.Errorf("-checkpoint on-commit needs -commit (nothing commits otherwise)")
+		}
+	default:
+		n, perr := strconv.ParseUint(*checkpoint, 0, 64)
+		if perr != nil || n == 0 {
+			return fmt.Errorf("bad -checkpoint %q: want a positive cycle count or on-commit", *checkpoint)
+		}
+		ckptCycle = n
+	}
+	if *restorePath != "" {
+		if len(sets) > 0 || *commit {
+			return fmt.Errorf("-restore excludes -set and -commit: the snapshot already carries its committed configuration")
+		}
+		// -args/-repeat are checked after the snapshot is read: they
+		// apply when it holds no call in flight (an on-commit
+		// checkpoint), and conflict only with resuming a mid-call one.
+	}
+	if *flightSnap && *flightOut == "" {
+		return fmt.Errorf("-flight-snap needs -flight (it rides the flight recorder's failure hook)")
+	}
+
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -102,6 +146,29 @@ func run(path string) (err error) {
 		return err
 	}
 
+	// saveSnapshot captures the whole machine+runtime state and writes
+	// it to the checkpoint path. Capture requires quiescence in the
+	// runtime (no open commit transaction), which holds everywhere this
+	// is called: between block dispatches (RunUntil) or right after a
+	// completed commit.
+	saveSnapshot := func(label string) error {
+		snap, serr := snapshot.Capture(m, rt)
+		if serr != nil {
+			return fmt.Errorf("checkpoint: %w", serr)
+		}
+		enc := snap.Encode()
+		digest, derr := snapshot.Digest(enc)
+		if derr != nil {
+			return derr
+		}
+		if werr := os.WriteFile(ckptPath, enc, 0o644); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "mvrun: checkpoint (%s) cycle %d digest %s -> %s\n",
+			label, snap.SimCycles, digest, ckptPath)
+		return nil
+	}
+
 	var col *trace.Collector
 	if *traceOut != "" || *profileOut != "" {
 		col = trace.NewCollector(trace.Options{Profile: *profileOut != ""})
@@ -114,6 +181,26 @@ func run(path string) (err error) {
 	if *flightOut != "" {
 		rec = trace.NewRecorder(0)
 		core.AttachFlightRecorder(rec, m, rt)
+		if *flightSnap {
+			// On failure, freeze the machine alongside the event ring:
+			// the snapshot restores to the exact failure-point state, so
+			// the dump can be debugged in mvdbg without a re-run. The
+			// runtime reports failures only from a quiescent state (the
+			// commit transaction is unwound before NoteFailure), so
+			// capture is safe here.
+			snapPath := *flightOut + ".snap"
+			rec.OnFailure = func(reason string, d *trace.FlightDump) {
+				snap, serr := snapshot.Capture(m, rt)
+				if serr == nil {
+					serr = snapshot.WriteFile(snapPath, snap)
+				}
+				if serr != nil {
+					fmt.Fprintf(os.Stderr, "mvrun: flight snapshot: %v\n", serr)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "mvrun: failure %q: machine snapshot -> %s\n", reason, snapPath)
+			}
+		}
 		defer func() {
 			// A failure that reached the recorder (commit abort, audit
 			// violation) already produced the dump worth keeping; a clean
@@ -208,6 +295,34 @@ func run(path string) (err error) {
 		samp = metrics.NewSampler(reg, f, *sampleEvery, format)
 	}
 
+	// Restore replaces memory, CPUs and runtime bindings wholesale, so
+	// it happens after every attachment (which only touches host wiring)
+	// and instead of -set/-commit (excluded above: the snapshot already
+	// embodies the committed configuration).
+	var restored *snapshot.Snapshot
+	if *restorePath != "" {
+		snap, rerr := snapshot.ReadFile(*restorePath)
+		if rerr != nil {
+			return rerr
+		}
+		if aerr := snapshot.Apply(snap, m, rt); aerr != nil {
+			return fmt.Errorf("restore %s: %w", *restorePath, aerr)
+		}
+		digest, derr := snapshot.Digest(snap.Encode())
+		if derr != nil {
+			return derr
+		}
+		fmt.Fprintf(os.Stderr, "mvrun: restored %s: cycle %d, %d CPU(s), digest %s\n",
+			*restorePath, snap.SimCycles, len(snap.CPUs), digest)
+		if reg != nil {
+			// The cycle counter resumes at the checkpoint, not 0; stamp
+			// the base so samplers and mvtop label the first window's
+			// rates against the cycles this run actually executed.
+			reg.SetBaseCycle(snap.SimCycles)
+		}
+		restored = snap
+	}
+
 	for _, s := range sets {
 		name, valStr, ok := strings.Cut(s, "=")
 		if !ok {
@@ -235,6 +350,11 @@ func run(path string) (err error) {
 			return err
 		}
 		fmt.Printf("commit: %d bound, %d generic\n", res.Committed, res.Generic)
+		if ckptOnCommit {
+			if err := saveSnapshot("on-commit"); err != nil {
+				return err
+			}
+		}
 	}
 	if *audit {
 		if err := rt.Audit(); err != nil {
@@ -299,19 +419,90 @@ func run(path string) (err error) {
 	if *repeat < 1 {
 		return fmt.Errorf("-repeat must be at least 1, got %d", *repeat)
 	}
+
+	// runToHalt drives the boot CPU to the halt stub, pausing once at
+	// the checkpoint cycle (if one was requested and lies ahead) to
+	// capture a snapshot. RunUntil only pauses between block dispatches,
+	// so the capture point is always an instruction boundary and the
+	// paused run retires bit-identical cycles and statistics.
+	runToHalt := func() error {
+		c := m.CPU
+		if ckptCycle > 0 {
+			if c.Cycles() >= ckptCycle {
+				fmt.Fprintf(os.Stderr, "mvrun: checkpoint skipped: already at cycle %d (>= %d)\n",
+					c.Cycles(), ckptCycle)
+			} else {
+				if _, rerr := c.RunUntil(ckptCycle, m.MaxSteps); rerr != nil {
+					return rerr
+				}
+				if c.Halted() {
+					fmt.Fprintf(os.Stderr, "mvrun: checkpoint skipped: run halted at cycle %d before %d\n",
+						c.Cycles(), ckptCycle)
+				} else if serr := saveSnapshot(fmt.Sprintf("cycle %d", ckptCycle)); serr != nil {
+					return serr
+				}
+			}
+		}
+		if !c.Halted() {
+			if _, rerr := c.Run(m.MaxSteps); rerr != nil {
+				return rerr
+			}
+		}
+		return nil
+	}
+
 	start := m.CPU.Cycles()
+	startInstr := m.CPU.Stats().Instructions // nonzero after a restore
 	var ret uint64
-	for i := 0; i < *repeat; i++ {
-		ret, err = m.CallNamed(*entry, callArgs...)
-		if err != nil {
-			return err
+	switch {
+	case restored != nil && (m.CPU.PC() != 0 || m.CPU.Halted()):
+		// The snapshot holds an interrupted call (pc mid-function, halt
+		// stub on the stack); run it out. -checkpoint N still composes,
+		// which is how the restore difftest re-checkpoints a restored
+		// run and compares digests against an uninterrupted one.
+		if *args != "" || *repeat != 1 {
+			return fmt.Errorf("-restore resumes the interrupted call; -args and -repeat do not apply")
+		}
+		if m.CPU.Halted() {
+			fmt.Fprintln(os.Stderr, "mvrun: snapshot was captured at a halt; nothing left to execute")
+		} else if rerr := runToHalt(); rerr != nil {
+			return rerr
+		}
+		ret = m.CPU.Reg(0)
+		fmt.Printf("restored-run = %d (%#x)\n", int64(ret), ret)
+	default:
+		// Either a plain run, or a restore of a snapshot with no call
+		// in flight (an on-commit checkpoint fires before the entry
+		// call): start -entry normally against the restored state.
+		if restored != nil {
+			fmt.Fprintf(os.Stderr, "mvrun: snapshot holds no call in flight; calling %q against the restored state\n", *entry)
+		}
+		for i := 0; i < *repeat; i++ {
+			if i == 0 && ckptCycle > 0 {
+				// A cycle checkpoint lands mid-call, so drive the first
+				// call by hand: start it, pause at the requested cycle,
+				// capture, continue to the halt stub.
+				if serr := m.StartCall(m.CPU, *entry, callArgs...); serr != nil {
+					return serr
+				}
+				if rerr := runToHalt(); rerr != nil {
+					return rerr
+				}
+				ret = m.CPU.Reg(0)
+				continue
+			}
+			ret, err = m.CallNamed(*entry, callArgs...)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%s(%s) = %d (%#x)\n", *entry, *args, int64(ret), ret)
+		if *repeat > 1 {
+			fmt.Printf("repeat: %d calls\n", *repeat)
 		}
 	}
-	fmt.Printf("%s(%s) = %d (%#x)\n", *entry, *args, int64(ret), ret)
-	if *repeat > 1 {
-		fmt.Printf("repeat: %d calls\n", *repeat)
-	}
-	fmt.Printf("cycles: %d, instructions: %d\n", m.CPU.Cycles()-start, m.CPU.Stats().Instructions)
+	fmt.Printf("cycles: %d, instructions: %d\n",
+		m.CPU.Cycles()-start, m.CPU.Stats().Instructions-startInstr)
 	if *audit {
 		if err := rt.Audit(); err != nil {
 			return fmt.Errorf("audit (post-run): %w", err)

@@ -22,10 +22,20 @@
 // nonzero. The artifact embeds the failing run's flight-recorder dump
 // (the last commit-lifecycle events before the violation) and a
 // standalone copy is written next to it as <artifact>.flight.json for
-// mvtrace. Any reported seed reproduces exactly:
+// mvtrace. Non-concurrent failures additionally get a machine snapshot
+// taken at the op preceding the violation, written as <artifact>.snap
+// (readable with mvtrace -snap). Any reported seed reproduces exactly:
 //
 //	mvstress -seeds 1 -seed-base <seed> -workload <w> [-smp]
 //	mvstress -seeds 1 -seed-base <seed> -workload <w> -concurrent -cpus <n> -mode <m>
+//
+// With -replay-snap the argument is a previously written artifact:
+// mvstress resumes the failed run from its embedded snapshot — no
+// re-execution from cycle zero — expects the recorded violation to
+// reproduce, and cross-checks the result against the full seed-based
+// rerun:
+//
+//	mvstress -replay-snap artifact.json
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"os"
 
 	"repro/internal/chaos"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -46,11 +57,14 @@ var (
 	steps    = flag.Int("steps", 40, "runtime operations per run")
 	faults   = flag.Int("faults", 6, "armed fault points per run")
 	artifact = flag.String("artifact", "", "write a JSON repro artifact here on failure")
+	sabotage = flag.Int("sabotage", 0, "corrupt a text byte after n operations (guaranteed violation; exercises the failure/artifact path)")
 	verbose  = flag.Bool("v", false, "print a line per run")
 
 	concurrent = flag.Bool("concurrent", false, "sweep cross-modifying-commit runs (ops land on running CPUs)")
 	cpus       = flag.Int("cpus", 0, "concurrent mode: CPU count 1 or 2 (default sweeps both)")
 	mode       = flag.String("mode", "all", "concurrent mode: stop, poke or all")
+
+	replaySnap = flag.String("replay-snap", "", "replay a failure artifact from its <artifact>.snap snapshot and cross-check against the seed-based rerun")
 )
 
 // failure is the repro artifact written for the first failing seed.
@@ -62,6 +76,10 @@ type failure struct {
 	Quanta []int             `json:"quanta,omitempty"`
 	Error  string            `json:"error"`
 	Flight *trace.FlightDump `json:"flight,omitempty"`
+	// Replay pins the snapshot-based reproduction of non-concurrent
+	// failures; the snapshot bytes themselves live in <artifact>.snap,
+	// tied to this record by Replay.Digest.
+	Replay *chaos.ReplayInfo `json:"replay,omitempty"`
 }
 
 func configs() []chaos.Config {
@@ -105,15 +123,22 @@ func configs() []chaos.Config {
 	}
 	for _, n := range names {
 		if !*smp {
-			cfgs = append(cfgs, chaos.Config{Workload: n, Steps: *steps, Faults: *faults})
+			cfgs = append(cfgs, chaos.Config{Workload: n, Steps: *steps, Faults: *faults, Sabotage: *sabotage})
 		}
-		cfgs = append(cfgs, chaos.Config{Workload: n, Steps: *steps, Faults: *faults, SMP: true})
+		cfgs = append(cfgs, chaos.Config{Workload: n, Steps: *steps, Faults: *faults, SMP: true, Sabotage: *sabotage})
 	}
 	return cfgs
 }
 
 func main() {
 	flag.Parse()
+	if *replaySnap != "" {
+		if err := replayArtifact(*replaySnap); err != nil {
+			fmt.Fprintf(os.Stderr, "mvstress: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runs, aborts, retries := 0, 0, 0
 	var fired uint64
@@ -133,7 +158,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, "mvstress: reproduce with: mvstress -seeds 1 -seed-base %d -workload %s -smp=%v -steps %d -faults %d\n",
 						seed, cfg.Workload, cfg.SMP, *steps, *faults)
 				}
-				writeArtifact(failure{Seed: seed, Config: cfg, Quanta: res.Quanta, Error: err.Error(), Flight: res.FlightDump})
+				writeArtifact(failure{Seed: seed, Config: cfg, Quanta: res.Quanta, Error: err.Error(), Flight: res.FlightDump, Replay: res.Replay})
 				os.Exit(1)
 			}
 			runs++
@@ -168,6 +193,13 @@ func writeArtifact(f failure) {
 	if err := os.WriteFile(*artifact, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "mvstress: writing artifact: %v\n", err)
 	}
+	// The snapshot goes standalone next to the artifact: binary, and
+	// readable with mvtrace -snap; -replay-snap resumes the run from it.
+	if f.Replay != nil && len(f.Replay.Snap) > 0 {
+		if err := os.WriteFile(*artifact+".snap", f.Replay.Snap, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mvstress: writing snapshot: %v\n", err)
+		}
+	}
 	if f.Flight == nil {
 		return
 	}
@@ -183,4 +215,54 @@ func writeArtifact(f failure) {
 	if err := f.Flight.WriteJSON(out); err != nil {
 		fmt.Fprintf(os.Stderr, "mvstress: writing flight dump: %v\n", err)
 	}
+}
+
+// replayArtifact resumes a failed run from an artifact's snapshot and
+// cross-checks it against the seed-based full rerun: both must report
+// the violation the artifact recorded.
+func replayArtifact(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f failure
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("%s: not a repro artifact: %v", path, err)
+	}
+	if f.Replay == nil {
+		return fmt.Errorf("%s: no replay pin (concurrent failure? reproduce from seed: mvstress -seeds 1 -seed-base %d ...)", path, f.Seed)
+	}
+	snapData, err := os.ReadFile(path + ".snap")
+	if err != nil {
+		return fmt.Errorf("reading snapshot: %w", err)
+	}
+	if d, derr := snapshot.Digest(snapData); derr != nil {
+		return fmt.Errorf("%s.snap: %w", path, derr)
+	} else if d != f.Replay.Digest {
+		return fmt.Errorf("%s.snap digest %s does not match the artifact's %s", path, d, f.Replay.Digest)
+	}
+	f.Replay.Snap = snapData
+
+	fmt.Printf("mvstress: replaying seed %d from snapshot at op %d (of %d steps)\n",
+		f.Seed, f.Replay.Op, f.Config.Steps)
+	_, rerr := chaos.ReplaySnapshot(f.Seed, f.Config, f.Replay)
+	if rerr == nil {
+		return fmt.Errorf("snapshot replay did not reproduce (artifact recorded: %s)", f.Error)
+	}
+	fmt.Printf("mvstress: snapshot replay: %v\n", rerr)
+	if rerr.Error() != f.Error {
+		return fmt.Errorf("snapshot replay reproduced a different violation (artifact recorded: %s)", f.Error)
+	}
+
+	// Cross-check: the full seed-based rerun must agree.
+	_, serr := chaos.Run(f.Seed, f.Config)
+	if serr == nil {
+		return fmt.Errorf("seed-based rerun passed but the snapshot replay failed — determinism bug")
+	}
+	fmt.Printf("mvstress: seed rerun:       %v\n", serr)
+	if serr.Error() != rerr.Error() {
+		return fmt.Errorf("snapshot replay and seed rerun disagree")
+	}
+	fmt.Println("mvstress: reproduced — snapshot replay and seed-based rerun agree")
+	return nil
 }

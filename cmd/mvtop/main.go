@@ -148,8 +148,17 @@ func hist(snap *metrics.Snapshot, name string) *metrics.HistSnapshot {
 
 func render(snap *metrics.Snapshot, source string) {
 	fmt.Printf("mvtop — %s\n", source)
-	fmt.Printf("cycle %d   instructions %.0f   commits %.0f   reverts %.0f\n",
-		snap.Cycle,
+	// A run restored from a checkpoint starts its cycle counter at the
+	// checkpoint, not 0. Say so, and show the window this run actually
+	// executed — the denominator rate math must use for the first
+	// sample (cumulative counters were restored along with the clock).
+	cycle := fmt.Sprintf("cycle %d", snap.Cycle)
+	if snap.BaseCycle > 0 {
+		cycle = fmt.Sprintf("cycle %d (restored @%d, ran %d)",
+			snap.Cycle, snap.BaseCycle, snap.WindowCycles())
+	}
+	fmt.Printf("%s   instructions %.0f   commits %.0f   reverts %.0f\n",
+		cycle,
 		value(snap, "mv_instructions_total"),
 		value(snap, "mv_commits_total"),
 		value(snap, "mv_reverts_total"))

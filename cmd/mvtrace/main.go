@@ -5,6 +5,12 @@
 // an mvstress repro artifact with an embedded "flight" field.
 //
 //	mvtrace [-timeline] dump.json
+//	mvtrace -snap state.snap
+//
+// With -snap the argument is a deterministic machine snapshot (mvrun
+// -checkpoint / -flight-snap, mvstress artifacts) and mvtrace prints
+// its header — cycle, image hash, CPU/page/runtime inventory — and the
+// canonical digest two byte-identical machine states share.
 //
 // The default view is a flat table — one row per event with its cycle,
 // causality span, kind and decoded payload. With -timeline events are
@@ -24,20 +30,32 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/mem"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
-var timeline = flag.Bool("timeline", false, "group events by causality span and render per-span phase timelines")
+var (
+	timeline = flag.Bool("timeline", false, "group events by causality span and render per-span phase timelines")
+	snapView = flag.Bool("snap", false, "the argument is a machine snapshot (.snap): print its header and digest")
+)
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mvtrace [-timeline] dump.json\n")
+		fmt.Fprintf(os.Stderr, "usage: mvtrace [-timeline] dump.json\n       mvtrace -snap state.snap\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *snapView {
+		if err := renderSnap(os.Stdout, flag.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "mvtrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	d, err := readDump(flag.Arg(0))
 	if err != nil {
@@ -48,6 +66,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mvtrace: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// renderSnap prints a machine snapshot's header and canonical digest —
+// the quick "what state is this, and is it the same state as that one"
+// view (two snapshots of the same simulated machine state print the
+// same digest, byte for byte).
+func renderSnap(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	digest, err := snapshot.Digest(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	s, err := snapshot.Decode(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(w, "snapshot: %s\n", path)
+	fmt.Fprintf(w, "  digest   %s\n", digest)
+	fmt.Fprintf(w, "  cycle    %d\n", s.SimCycles)
+	fmt.Fprintf(w, "  image    %x\n", s.ImageSum)
+	fmt.Fprintf(w, "  pages    %d (%d KiB), console %d bytes\n",
+		len(s.Pages), len(s.Pages)*mem.PageSize/1024, len(s.Console))
+	for i, c := range s.CPUs {
+		state := "running"
+		if c.Halted {
+			state = "halted"
+		}
+		fmt.Fprintf(w, "  cpu%-4d  pc=%#x cycles=%d %s\n", i, c.PC, c.Cycles, state)
+	}
+	if s.Runtime == nil {
+		fmt.Fprintf(w, "  runtime  none (machine-only snapshot)\n")
+		return nil
+	}
+	committed := 0
+	for _, f := range s.Runtime.Funcs {
+		if f.CommittedAddr != 0 {
+			committed++
+		}
+	}
+	fmt.Fprintf(w, "  runtime  %d function(s) (%d bound), %d fn-ptr(s), %d deferred op(s), op-seq %d\n",
+		len(s.Runtime.Funcs), committed, len(s.Runtime.FnPtrs), len(s.Runtime.Deferred), s.Runtime.OpSeq)
+	return nil
 }
 
 // readDump loads a flight dump from path: either a bare FlightDump or

@@ -32,6 +32,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/muslsim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -87,6 +88,14 @@ type Result struct {
 	// commit-lifecycle and fault events before the violated invariant.
 	// Nil for passing runs.
 	FlightDump *trace.FlightDump `json:",omitempty"`
+
+	// Replay pins a snapshot-based reproduction of non-concurrent runs:
+	// the machine+runtime snapshot taken at the quiesced boundary of
+	// the most recent operation, plus the host coordinates (rng draws,
+	// fault-plan progress, semantic-model state) needed to resume from
+	// exactly there. For a failed run that is the op preceding the
+	// violation — ReplaySnapshot picks it up. Nil in concurrent mode.
+	Replay *ReplayInfo `json:",omitempty"`
 }
 
 // maxCallSteps bounds any single guest call during chaos runs.
@@ -95,8 +104,13 @@ const maxCallSteps = 5_000_000
 // Run executes one seeded chaos run and returns its summary, or an
 // error describing the first violated invariant. The Result counters
 // are filled in even for failed runs, so failure reports carry the
-// fault and retry activity up to the violation.
-func Run(seed int64, cfg Config) (res Result, err error) {
+// fault and retry activity up to the violation. Non-concurrent runs
+// additionally keep a replay pin — a machine snapshot taken at the
+// quiesced boundary of the most recent operation plus the host-side
+// coordinates the snapshot cannot see — so a failing run's Result can
+// reproduce from the op preceding the violation (ReplaySnapshot)
+// without re-executing the prefix.
+func Run(seed int64, cfg Config) (Result, error) {
 	if cfg.Steps <= 0 {
 		cfg.Steps = 40
 	}
@@ -106,174 +120,275 @@ func Run(seed int64, cfg Config) (res Result, err error) {
 	if cfg.Concurrent {
 		return runConcurrent(seed, cfg)
 	}
-	res = Result{Seed: seed}
+	r, err := newRunner(seed, cfg)
+	if err != nil {
+		return Result{Seed: seed}, err
+	}
+	r.capture = r.captureReplay
+	return r.run(0)
+}
 
+// runner is the non-concurrent chaos engine, factored so a fresh run
+// (Run, from op 0) and a snapshot-based replay (ReplaySnapshot, from
+// the failing op) execute the identical per-operation body — the
+// reproduction guarantee is "same code, different starting point".
+type runner struct {
+	seed int64
+	cfg  Config
+	w    workload
+	m    *machine.Machine
+	rt   *core.Runtime
+	src  *countingSource
+	rng  *rand.Rand
+	plan *faultinject.Plan
+	rec  *trace.Recorder
+
+	second        *cpu.CPU
+	secondaryBusy bool // StartCall issued and not yet drained to halt
+
+	pristine map[uint64][]byte
+	res      Result
+
+	// capture, when non-nil, runs at every quiesced op boundary (each
+	// loop top and once before the final revert): Run points it at
+	// captureReplay to keep the failure artifact's snapshot fresh.
+	capture func(op int) error
+}
+
+func newRunner(seed int64, cfg Config) (*runner, error) {
+	r := &runner{seed: seed, cfg: cfg, res: Result{Seed: seed}}
 	w, err := buildWorkload(cfg.Workload)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
+	r.w = w
 	sys := w.system()
-	m, rt := sys.Machine, sys.RT
-	m.MaxSteps = maxCallSteps
+	r.m, r.rt = sys.Machine, sys.RT
+	r.m.MaxSteps = maxCallSteps
 
-	// The always-on flight recorder: when any property below is
-	// violated, the Result carries the last commit-lifecycle events as
-	// the failure's causal record (mvstress attaches it to artifacts).
-	rec := trace.NewRecorder(0)
-	core.AttachFlightRecorder(rec, m, rt)
-	defer func() {
-		if err != nil {
-			d := rec.Dump("chaos property violation")
-			res.FlightDump = &d
-		}
-	}()
+	// The always-on flight recorder: when any property is violated,
+	// the Result carries the last commit-lifecycle events as the
+	// failure's causal record (mvstress attaches it to artifacts).
+	r.rec = trace.NewRecorder(0)
+	core.AttachFlightRecorder(r.rec, r.m, r.rt)
 
-	pristine, err := snapshotExec(m)
+	r.pristine, err = snapshotExec(r.m)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
-
 	ncpu := 1
-	var second *cpu.CPU
-	secondaryBusy := false // StartCall issued and not yet drained to halt
 	if cfg.SMP {
 		ncpu = 2
-		second, err = m.AddCPU()
+		r.second, err = r.m.AddCPU()
 		if err != nil {
-			return res, err
+			return nil, err
 		}
 	}
-
-	rng := rand.New(rand.NewSource(seed))
-	plan := faultinject.New(seed, faultinject.Opts{
+	r.src = newCountingSource(seed, 0)
+	r.rng = rand.New(r.src)
+	r.plan = faultinject.New(seed, faultinject.Opts{
 		Points:   cfg.Faults,
 		CPUs:     ncpu,
 		MaxOp:    uint64(4 * cfg.Steps),
 		MaxCycle: 2_000_000,
 	})
-	plan.Attach(m)
-	defer faultinject.Detach(m)
-	defer func() {
-		res.Retries = rt.Stats.CommitRetries
-		res.FlushFixes = rt.Stats.FlushRetries
-		res.FaultsFired = plan.Stats.Total()
-	}()
+	r.plan.Attach(r.m)
+	return r, nil
+}
 
-	for op := 0; op < cfg.Steps; op++ {
-		// Quiesce: runtime operations only happen at patchable points —
-		// the secondary thread must be halted, and no PC may sit inside
-		// a patch window.
-		if secondaryBusy && !second.Halted() {
-			if err := stepToHalt(second, maxCallSteps); err != nil {
-				return res, fmt.Errorf("seed %d op %d: quiescing secondary: %w", seed, op, err)
-			}
-		}
-		secondaryBusy = false
-		if err := assertOutsidePatchRanges(m, rt); err != nil {
-			return res, fmt.Errorf("seed %d op %d: %w", seed, op, err)
-		}
+// run executes operations [startOp, Steps) plus the final-revert
+// section, then fills in the Result counters and, on failure, the
+// flight dump.
+func (r *runner) run(startOp int) (Result, error) {
+	err := r.body(startOp)
+	faultinject.Detach(r.m)
+	r.res.Retries = r.rt.Stats.CommitRetries
+	r.res.FlushFixes = r.rt.Stats.FlushRetries
+	r.res.FaultsFired = r.plan.Stats.Total()
+	if err != nil {
+		d := r.rec.Dump("chaos property violation")
+		r.res.FlightDump = &d
+	}
+	return r.res, err
+}
 
-		pre, err := snapshotExec(m)
-		if err != nil {
-			return res, err
+func (r *runner) body(startOp int) error {
+	for op := startOp; op < r.cfg.Steps; op++ {
+		if err := r.quiesce(op); err != nil {
+			return err
 		}
-		abortsBefore := rt.Stats.CommitAborts
-
-		atomic, opErr := w.mutate(rng, rt)
-		res.Ops++
-		if opErr != nil {
-			if !errors.Is(opErr, core.ErrCommitAborted) {
-				return res, fmt.Errorf("seed %d op %d: operation failed without aborting cleanly: %w", seed, op, opErr)
-			}
-			res.Aborts++
-			// Single-transaction ops promise all-or-nothing; Revert
-			// promises only per-function atomicity plus a green audit,
-			// which the Audit below enforces.
-			if atomic {
-				if err := assertExecEqual(m, pre); err != nil {
-					return res, fmt.Errorf("seed %d op %d: aborted operation left a modified image: %w", seed, op, err)
-				}
-			} else {
-				// A partial revert is per-function consistent but not
-				// cross-function consistent: spin_lock may stay bound to
-				// the real SMP variant while spin_unlock already reverted
-				// to the elided one, which leaks the lock word on the
-				// next acquire/release pair. Before running workload code
-				// the harness does what an operator would: retry the
-				// revert until it goes through (the fault plan is finite,
-				// so it must).
-				if err := revertUntilClean(rt); err != nil {
-					return res, fmt.Errorf("seed %d op %d: recovering from partial revert: %w", seed, op, err)
-				}
-			}
-		} else if rt.Stats.CommitAborts != abortsBefore {
-			// Revert aggregates per-function transactions; a partial
-			// failure surfaces as an error, so a silent abort is a bug.
-			return res, fmt.Errorf("seed %d op %d: abort recorded but no error returned", seed, op)
-		}
-		if cfg.Sabotage > 0 && op+1 == cfg.Sabotage {
-			if err := sabotageText(m, rt); err != nil {
-				return res, fmt.Errorf("seed %d op %d: sabotage: %w", seed, op, err)
+		if r.capture != nil {
+			if err := r.capture(op); err != nil {
+				return err
 			}
 		}
-		if err := rt.Audit(); err != nil {
-			return res, fmt.Errorf("seed %d op %d: audit: %w", seed, op, err)
-		}
-
-		// Interleave: restart the secondary on workload code and let it
-		// run a random partial quantum against the (possibly re-bound)
-		// text.
-		if second != nil && rng.Intn(2) == 0 {
-			if err := w.startSecondary(m, second, rng); err != nil {
-				return res, fmt.Errorf("seed %d op %d: starting secondary: %w", seed, op, err)
-			}
-			secondaryBusy = true
-			if err := stepSome(second, rng.Intn(400)); err != nil {
-				return res, fmt.Errorf("seed %d op %d: stepping secondary: %w", seed, op, err)
-			}
-		}
-
-		// Periodic semantic checks on the primary CPU. The secondary
-		// must be drained first: on E1 it may be parked mid-critical-
-		// section holding lock_word, and the primary's run-to-completion
-		// bench would spin forever against a CPU nobody is stepping.
-		if op%5 == 4 {
-			if secondaryBusy && !second.Halted() {
-				if err := stepToHalt(second, maxCallSteps); err != nil {
-					return res, fmt.Errorf("seed %d op %d: draining secondary before check: %w", seed, op, err)
-				}
-			}
-			secondaryBusy = false
-			if err := w.check(m, rng); err != nil {
-				return res, fmt.Errorf("seed %d op %d: semantic check: %w", seed, op, err)
-			}
-			res.Checks++
+		if err := r.doOp(op); err != nil {
+			return err
 		}
 	}
-
-	// Drain the secondary, exhaust nothing further, and require the
-	// final revert to restore the boot image bit for bit.
-	if secondaryBusy && !second.Halted() {
-		if err := stepToHalt(second, maxCallSteps); err != nil {
-			return res, fmt.Errorf("seed %d: draining secondary: %w", seed, err)
+	// Drain the secondary and require the final revert to restore the
+	// boot image bit for bit.
+	if err := r.quiesce(r.cfg.Steps); err != nil {
+		return err
+	}
+	if r.capture != nil {
+		if err := r.capture(r.cfg.Steps); err != nil {
+			return err
 		}
 	}
-	faultinject.Detach(m)
-	if err := rt.Revert(); err != nil {
-		return res, fmt.Errorf("seed %d: final revert: %w", seed, err)
+	return r.finish()
+}
+
+// quiesce drains the secondary CPU and (before an operation) asserts
+// no PC sits inside a patch window — runtime operations and replay
+// snapshots both happen only at patchable points.
+func (r *runner) quiesce(op int) error {
+	if r.secondaryBusy && !r.second.Halted() {
+		if err := stepToHalt(r.second, maxCallSteps); err != nil {
+			if op >= r.cfg.Steps {
+				return fmt.Errorf("seed %d: draining secondary: %w", r.seed, err)
+			}
+			return fmt.Errorf("seed %d op %d: quiescing secondary: %w", r.seed, op, err)
+		}
+	}
+	r.secondaryBusy = false
+	if op >= r.cfg.Steps {
+		return nil
+	}
+	if err := assertOutsidePatchRanges(r.m, r.rt); err != nil {
+		return fmt.Errorf("seed %d op %d: %w", r.seed, op, err)
+	}
+	return nil
+}
+
+// captureReplay refreshes the Result's replay pin: a full machine+
+// runtime snapshot at this quiesced boundary plus the host-side
+// coordinates a snapshot cannot carry — the rng draw count, the fault
+// plan's progress and the workload's semantic model. Only the latest
+// pin is kept, so on failure it names the op preceding the violation.
+func (r *runner) captureReplay(op int) error {
+	snap, err := snapshot.Capture(r.m, r.rt)
+	if err != nil {
+		return fmt.Errorf("chaos: replay capture at op %d: %w", op, err)
+	}
+	data := snap.Encode()
+	digest, err := snapshot.Digest(data)
+	if err != nil {
+		return fmt.Errorf("chaos: replay capture at op %d: %w", op, err)
+	}
+	r.res.Replay = &ReplayInfo{
+		Op:       op,
+		RngDraws: r.src.draws,
+		Plan:     r.plan.Export(),
+		Model:    r.w.exportModel(),
+		Digest:   digest,
+		Snap:     data,
+	}
+	return nil
+}
+
+// doOp performs one randomized runtime operation and every invariant
+// check attached to it.
+func (r *runner) doOp(op int) error {
+	seed, m, rt, rng := r.seed, r.m, r.rt, r.rng
+	pre, err := snapshotExec(m)
+	if err != nil {
+		return err
+	}
+	abortsBefore := rt.Stats.CommitAborts
+
+	atomic, opErr := r.w.mutate(rng, rt)
+	r.res.Ops++
+	if opErr != nil {
+		if !errors.Is(opErr, core.ErrCommitAborted) {
+			return fmt.Errorf("seed %d op %d: operation failed without aborting cleanly: %w", seed, op, opErr)
+		}
+		r.res.Aborts++
+		// Single-transaction ops promise all-or-nothing; Revert
+		// promises only per-function atomicity plus a green audit,
+		// which the Audit below enforces.
+		if atomic {
+			if err := assertExecEqual(m, pre); err != nil {
+				return fmt.Errorf("seed %d op %d: aborted operation left a modified image: %w", seed, op, err)
+			}
+		} else {
+			// A partial revert is per-function consistent but not
+			// cross-function consistent: spin_lock may stay bound to
+			// the real SMP variant while spin_unlock already reverted
+			// to the elided one, which leaks the lock word on the
+			// next acquire/release pair. Before running workload code
+			// the harness does what an operator would: retry the
+			// revert until it goes through (the fault plan is finite,
+			// so it must).
+			if err := revertUntilClean(rt); err != nil {
+				return fmt.Errorf("seed %d op %d: recovering from partial revert: %w", seed, op, err)
+			}
+		}
+	} else if rt.Stats.CommitAborts != abortsBefore {
+		// Revert aggregates per-function transactions; a partial
+		// failure surfaces as an error, so a silent abort is a bug.
+		return fmt.Errorf("seed %d op %d: abort recorded but no error returned", seed, op)
+	}
+	if r.cfg.Sabotage > 0 && op+1 == r.cfg.Sabotage {
+		if err := sabotageText(m, rt); err != nil {
+			return fmt.Errorf("seed %d op %d: sabotage: %w", seed, op, err)
+		}
 	}
 	if err := rt.Audit(); err != nil {
-		return res, fmt.Errorf("seed %d: final audit: %w", seed, err)
+		return fmt.Errorf("seed %d op %d: audit: %w", seed, op, err)
 	}
-	if err := assertExecEqual(m, pristine); err != nil {
-		return res, fmt.Errorf("seed %d: final revert is not byte-identical to the boot image: %w", seed, err)
-	}
-	if err := w.check(m, rng); err != nil {
-		return res, fmt.Errorf("seed %d: final semantic check: %w", seed, err)
-	}
-	res.Checks++
 
-	return res, nil
+	// Interleave: restart the secondary on workload code and let it
+	// run a random partial quantum against the (possibly re-bound)
+	// text.
+	if r.second != nil && rng.Intn(2) == 0 {
+		if err := r.w.startSecondary(m, r.second, rng); err != nil {
+			return fmt.Errorf("seed %d op %d: starting secondary: %w", seed, op, err)
+		}
+		r.secondaryBusy = true
+		if err := stepSome(r.second, rng.Intn(400)); err != nil {
+			return fmt.Errorf("seed %d op %d: stepping secondary: %w", seed, op, err)
+		}
+	}
+
+	// Periodic semantic checks on the primary CPU. The secondary
+	// must be drained first: on E1 it may be parked mid-critical-
+	// section holding lock_word, and the primary's run-to-completion
+	// bench would spin forever against a CPU nobody is stepping.
+	if op%5 == 4 {
+		if r.secondaryBusy && !r.second.Halted() {
+			if err := stepToHalt(r.second, maxCallSteps); err != nil {
+				return fmt.Errorf("seed %d op %d: draining secondary before check: %w", seed, op, err)
+			}
+		}
+		r.secondaryBusy = false
+		if err := r.w.check(m, rng); err != nil {
+			return fmt.Errorf("seed %d op %d: semantic check: %w", seed, op, err)
+		}
+		r.res.Checks++
+	}
+	return nil
+}
+
+// finish is the end-of-run section: detach faults, revert everything,
+// and require the boot-time image and workload semantics back intact.
+func (r *runner) finish() error {
+	seed, m, rt := r.seed, r.m, r.rt
+	faultinject.Detach(m)
+	if err := rt.Revert(); err != nil {
+		return fmt.Errorf("seed %d: final revert: %w", seed, err)
+	}
+	if err := rt.Audit(); err != nil {
+		return fmt.Errorf("seed %d: final audit: %w", seed, err)
+	}
+	if err := assertExecEqual(m, r.pristine); err != nil {
+		return fmt.Errorf("seed %d: final revert is not byte-identical to the boot image: %w", seed, err)
+	}
+	if err := r.w.check(m, r.rng); err != nil {
+		return fmt.Errorf("seed %d: final semantic check: %w", seed, err)
+	}
+	r.res.Checks++
+	return nil
 }
 
 // workload abstracts the two chaos targets.
@@ -305,6 +420,14 @@ type workload interface {
 	// variant. The concurrent harness plays the operator and resets
 	// those protocol words at quiescent points before semantic checks.
 	rescue(m *machine.Machine) error
+	// exportModel / importModel carry the host-side semantic model
+	// that lives outside the simulated machine (E4's LCG mirror and
+	// stream-position counters; E1 keeps none), so a snapshot-based
+	// replay resumes with the exact model the original run had — even
+	// when the pending violation is a guest/model divergence a resync
+	// from guest globals would paper over.
+	exportModel() []uint64
+	importModel([]uint64)
 }
 
 func buildWorkload(name string) (workload, error) {
@@ -385,6 +508,10 @@ func (w *e1Workload) rescue(m *machine.Machine) error {
 	}
 	return m.WriteGlobal("preempt_count", 8, 0)
 }
+
+// E1's invariants are all guest-visible; there is no host-side model.
+func (w *e1Workload) exportModel() []uint64 { return nil }
+func (w *e1Workload) importModel([]uint64)  {}
 
 // check runs the lock/unlock loop to completion and asserts the
 // always-true invariants of every consistent binding: the preemption
@@ -489,6 +616,16 @@ func (w *e4Workload) rescue(m *machine.Machine) error {
 		}
 	}
 	return nil
+}
+
+func (w *e4Workload) exportModel() []uint64 {
+	return []uint64{w.randState, w.fpos, w.flushed}
+}
+
+func (w *e4Workload) importModel(m []uint64) {
+	if len(m) == 3 {
+		w.randState, w.fpos, w.flushed = m[0], m[1], m[2]
+	}
 }
 
 const (

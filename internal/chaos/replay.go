@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faultinject"
+	"repro/internal/snapshot"
+)
+
+// ReplayInfo pins a snapshot-based reproduction point: the encoded
+// machine+runtime snapshot at a quiesced operation boundary, plus
+// everything that lives in the harness rather than the machine — how
+// far the seeded rng had advanced, which fault points had fired, and
+// the workload's host-side semantic model. Together with the (seed,
+// Config) pair it is sufficient to resume the run mid-flight.
+//
+// The snapshot bytes are excluded from JSON: mvstress stores them
+// standalone next to the artifact (<artifact>.snap) and the Digest
+// field ties the two files together.
+type ReplayInfo struct {
+	// Op is the operation index the snapshot was taken before.
+	Op int `json:"op"`
+	// RngDraws is how many times the seeded source had advanced.
+	RngDraws uint64 `json:"rng_draws"`
+	// Plan is the fault plan's progress (fired points, op counters).
+	Plan faultinject.PlanState `json:"plan"`
+	// Model is the workload's host-side semantic model (E4's LCG
+	// mirror and stream counters), nil for workloads without one.
+	Model []uint64 `json:"model,omitempty"`
+	// Digest is the canonical snapshot digest of Snap.
+	Digest string `json:"snap_digest"`
+	// Snap is the encoded snapshot (stored out of band in artifacts).
+	Snap []byte `json:"-"`
+}
+
+// ReplaySnapshot resumes a chaos run from a replay pin instead of from
+// cycle zero: it rebuilds the workload system, applies the snapshot,
+// fast-forwards a fresh seeded rng by the recorded draw count,
+// restores the fault plan's progress and the host-side model, then
+// executes the remaining operations through the same per-op body Run
+// uses. A genuine violation reproduces as the same error the full run
+// reported. The returned Result's counters cover only the replayed
+// suffix. Concurrent configs replay from seed only.
+func ReplaySnapshot(seed int64, cfg Config, info *ReplayInfo) (Result, error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 40
+	}
+	if cfg.Faults <= 0 {
+		cfg.Faults = 6
+	}
+	if cfg.Concurrent {
+		return Result{Seed: seed}, fmt.Errorf("chaos: concurrent runs replay from seed, not from snapshots")
+	}
+	if info == nil || len(info.Snap) == 0 {
+		return Result{Seed: seed}, fmt.Errorf("chaos: replay info carries no snapshot")
+	}
+	if info.Op > cfg.Steps {
+		return Result{Seed: seed}, fmt.Errorf("chaos: replay op %d beyond the run's %d steps", info.Op, cfg.Steps)
+	}
+	r, err := newRunner(seed, cfg)
+	if err != nil {
+		return Result{Seed: seed}, err
+	}
+	snap, err := snapshot.Decode(info.Snap)
+	if err != nil {
+		return r.res, fmt.Errorf("chaos: replay snapshot: %w", err)
+	}
+	if err := snapshot.Apply(snap, r.m, r.rt); err != nil {
+		return r.res, fmt.Errorf("chaos: applying replay snapshot: %w", err)
+	}
+	if err := r.plan.Import(info.Plan); err != nil {
+		return r.res, err
+	}
+	r.src = newCountingSource(seed, info.RngDraws)
+	r.rng = rand.New(r.src)
+	r.w.importModel(info.Model)
+	return r.run(info.Op)
+}

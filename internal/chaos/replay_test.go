@@ -1,0 +1,157 @@
+package chaos
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestCountingSourceMatchesBare pins the property every historical
+// mvstress seed depends on: wrapping the seeded source in the counting
+// wrapper must not change the draw sequence — including the Uint64
+// fast path rand.Rand takes when the source implements Source64.
+func TestCountingSourceMatchesBare(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(newCountingSource(42, 0))
+	for i := 0; i < 200; i++ {
+		switch i % 4 {
+		case 0:
+			if x, y := a.Intn(1000), b.Intn(1000); x != y {
+				t.Fatalf("draw %d: Intn %d != %d", i, x, y)
+			}
+		case 1:
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("draw %d: Uint64 %d != %d", i, x, y)
+			}
+		case 2:
+			if x, y := a.Int63n(77), b.Int63n(77); x != y {
+				t.Fatalf("draw %d: Int63n %d != %d", i, x, y)
+			}
+		case 3:
+			if x, y := a.Intn(2), b.Intn(2); x != y {
+				t.Fatalf("draw %d: Intn(2) %d != %d", i, x, y)
+			}
+		}
+	}
+}
+
+// TestCountingSourceFastForward: a fresh source skipped by a recorded
+// draw count continues with exactly the values the original would
+// have produced next.
+func TestCountingSourceFastForward(t *testing.T) {
+	src := newCountingSource(7, 0)
+	rng := rand.New(src)
+	for i := 0; i < 57; i++ {
+		rng.Intn(1000)
+		rng.Uint64()
+	}
+	draws := src.draws
+	var want [10]int
+	for i := range want {
+		want[i] = rng.Intn(1 << 30)
+	}
+
+	resumed := rand.New(newCountingSource(7, draws))
+	for i := range want {
+		if got := resumed.Intn(1 << 30); got != want[i] {
+			t.Fatalf("resumed draw %d = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+// runAndReplay forces a violation via sabotage, then replays it from
+// the Result's snapshot pin and requires the identical error. wantOp
+// is the op the pin must sit at — the op preceding the violation, or
+// Steps when the violation only surfaces in the final-revert section.
+func runAndReplay(t *testing.T, seed int64, cfg Config, wantOp int) {
+	t.Helper()
+	res, err := Run(seed, cfg)
+	if err == nil {
+		t.Fatalf("sabotaged run passed")
+	}
+	if res.Replay == nil || len(res.Replay.Snap) == 0 {
+		t.Fatalf("failed run carries no replay pin")
+	}
+	if res.Replay.Op != wantOp {
+		t.Fatalf("replay pin at op %d, want %d (violation: %v)", res.Replay.Op, wantOp, err)
+	}
+	if d, derr := snapshot.Digest(res.Replay.Snap); derr != nil || d != res.Replay.Digest {
+		t.Fatalf("replay digest mismatch: %s vs %s (err %v)", d, res.Replay.Digest, derr)
+	}
+
+	rres, rerr := ReplaySnapshot(seed, cfg, res.Replay)
+	if rerr == nil {
+		t.Fatalf("snapshot replay did not reproduce the violation")
+	}
+	if rerr.Error() != err.Error() {
+		t.Fatalf("snapshot replay diverged:\n  full run: %v\n  replay:   %v", err, rerr)
+	}
+	// The replay resumed mid-run: it must have executed only the
+	// suffix, not the whole operation sequence.
+	if rres.Ops >= res.Ops {
+		t.Fatalf("replay performed %d ops, full run %d — did it start from op 0?", rres.Ops, res.Ops)
+	}
+}
+
+// Seed 1's sabotage trips the text audit inside the sabotaged op, so
+// the pin sits at op Sabotage-1 and the replay runs only the suffix.
+func TestReplaySnapshotE1(t *testing.T) {
+	runAndReplay(t, 1, Config{Workload: "e1", Steps: 12, Faults: 4, Sabotage: 8}, 7)
+}
+
+func TestReplaySnapshotE1SMP(t *testing.T) {
+	runAndReplay(t, 1, Config{Workload: "e1", Steps: 12, Faults: 4, SMP: true, Sabotage: 9}, 8)
+}
+
+// Seed 3's sabotaged byte lands where the auditor does not look, so
+// the violation only surfaces at the final boot-image comparison: the
+// pin sits at op == Steps and the replay runs just the final section.
+func TestReplaySnapshotE1FinalSection(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 12, Faults: 4, Sabotage: 8}
+	runAndReplay(t, 3, cfg, cfg.Steps)
+}
+
+// TestReplaySnapshotE4 exercises the host-model carry: E4's LCG and
+// stream counters live outside the machine, so the replay pin must
+// restore them for the suffix's semantic checks to agree.
+func TestReplaySnapshotE4(t *testing.T) {
+	runAndReplay(t, 1, Config{Workload: "e4", Steps: 12, Faults: 4, Sabotage: 8}, 7)
+}
+
+// TestReplayPassingRun: a clean run's final pin sits at op == Steps;
+// replaying it executes just the final-revert section and passes.
+func TestReplayPassingRun(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 10, Faults: 3}
+	res, err := Run(5, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Replay == nil || res.Replay.Op != cfg.Steps {
+		t.Fatalf("passing run's pin = %+v, want op %d", res.Replay, cfg.Steps)
+	}
+	rres, rerr := ReplaySnapshot(5, cfg, res.Replay)
+	if rerr != nil {
+		t.Fatalf("replaying a passing run's final pin failed: %v", rerr)
+	}
+	if rres.Ops != 0 || rres.Checks != 1 {
+		t.Fatalf("final-pin replay ran ops=%d checks=%d, want 0 and 1", rres.Ops, rres.Checks)
+	}
+}
+
+func TestReplayRejectsConcurrent(t *testing.T) {
+	_, err := ReplaySnapshot(1, Config{Workload: "e1", Concurrent: true}, &ReplayInfo{Snap: []byte{1}})
+	if err == nil || !strings.Contains(err.Error(), "concurrent") {
+		t.Fatalf("concurrent replay not rejected: %v", err)
+	}
+}
+
+func TestReplayRejectsEmptyPin(t *testing.T) {
+	if _, err := ReplaySnapshot(1, Config{Workload: "e1"}, nil); err == nil {
+		t.Fatalf("nil replay info accepted")
+	}
+	if _, err := ReplaySnapshot(1, Config{Workload: "e1"}, &ReplayInfo{}); err == nil {
+		t.Fatalf("empty snapshot accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package chaos
+
+import "math/rand"
+
+// countingSource wraps math/rand's seeded source and counts how many
+// times it advanced. A snapshot-based replay fast-forwards a fresh
+// source by that count and continues drawing the exact values the
+// original run would have drawn next.
+//
+// It implements Source64 by delegation, so rand.Rand takes the same
+// internal paths (Uint64 vs composed Int63 calls) as it does over the
+// bare source — the draw sequence per seed is bit-identical to
+// rand.New(rand.NewSource(seed)), which keeps every historical
+// mvstress seed reproducing the same run.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// newCountingSource seeds a source and fast-forwards it by skip
+// advances. Both Int63 and Uint64 advance math/rand's generator by
+// exactly one step, so a flat count replays either mix.
+func newCountingSource(seed int64, skip uint64) *countingSource {
+	c := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	for i := uint64(0); i < skip; i++ {
+		c.src.Uint64()
+	}
+	c.draws = skip
+	return c
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(s int64) {
+	c.src.Seed(s)
+	c.draws = 0
+}

@@ -12,8 +12,18 @@ import (
 // introspection surface mvrun and the examples print.
 func (rt *Runtime) StateReport() string {
 	var sb strings.Builder
+	// All three listings sort with an address tie-breaker: names are
+	// almost always unique, but two units may legally declare colliding
+	// names, and a report that depends on map-iteration (or descriptor)
+	// order for the tie would render differently run to run — mvdbg's
+	// `state` view and the snapshot goldens need byte-stable output.
 	funcs := append([]*funcState(nil), rt.funcs...)
-	sort.Slice(funcs, func(i, j int) bool { return funcs[i].fd.Name < funcs[j].fd.Name })
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].fd.Name != funcs[j].fd.Name {
+			return funcs[i].fd.Name < funcs[j].fd.Name
+		}
+		return funcs[i].fd.Generic < funcs[j].fd.Generic
+	})
 	for _, fs := range funcs {
 		state := "generic (dynamic)"
 		if fs.committed != nil {
@@ -38,7 +48,12 @@ func (rt *Runtime) StateReport() string {
 	for _, ps := range rt.fnptrs {
 		ptrs = append(ptrs, ps)
 	}
-	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i].vd.Name < ptrs[j].vd.Name })
+	sort.Slice(ptrs, func(i, j int) bool {
+		if ptrs[i].vd.Name != ptrs[j].vd.Name {
+			return ptrs[i].vd.Name < ptrs[j].vd.Name
+		}
+		return ptrs[i].vd.Addr < ptrs[j].vd.Addr
+	})
 	for _, ps := range ptrs {
 		state := "indirect (dynamic)"
 		if ps.committed {
@@ -50,7 +65,12 @@ func (rt *Runtime) StateReport() string {
 
 	var vars []VarDesc
 	vars = append(vars, rt.desc.Vars...)
-	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	sort.Slice(vars, func(i, j int) bool {
+		if vars[i].Name != vars[j].Name {
+			return vars[i].Name < vars[j].Name
+		}
+		return vars[i].Addr < vars[j].Addr
+	})
 	for _, v := range vars {
 		if v.FnPtr {
 			continue

@@ -45,6 +45,59 @@ func buildReportSystem(t *testing.T) *System {
 	return sys
 }
 
+// TestStateReportDeterministic pins full ordering determinism: with
+// several functions, pointer switches and variables per section (the
+// pointer listing walks a map), the report must render byte-identically
+// across repeated calls and across independently constructed systems —
+// the property mvdbg's `state` view and the snapshot goldens rely on.
+func TestStateReportDeterministic(t *testing.T) {
+	const src = `
+		multiverse int alpha;
+		multiverse int beta;
+		multiverse int gamma;
+		long n;
+		void w1(void) { n++; }
+		void w2(void) { n += 2; }
+		multiverse void zfirst(void) { if (gamma) { w1(); } }
+		multiverse void afirst(void) { if (alpha) { w2(); } }
+		multiverse void mid(void) { if (beta) { w1(); } }
+		void drive(void) { zfirst(); afirst(); mid(); }
+		multiverse void (*cb_z)(void);
+		multiverse void (*cb_a)(void);
+		void poke(void) { cb_z(); cb_a(); }
+	`
+	build := func() *System {
+		sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "det", Text: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sw := range []string{"alpha", "beta"} {
+			if err := sys.SetSwitch(sw, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range []string{"cb_z", "cb_a"} {
+			if err := sys.SetFnPtr(p, "w1"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.RT.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	sys := build()
+	first := sys.RT.StateReport()
+	for i := 0; i < 32; i++ {
+		if got := sys.RT.StateReport(); got != first {
+			t.Fatalf("render %d diverged:\ngot:\n%s\nfirst:\n%s", i, got, first)
+		}
+	}
+	if got := build().RT.StateReport(); got != first {
+		t.Fatalf("independently built system renders differently:\ngot:\n%s\nfirst:\n%s", got, first)
+	}
+}
+
 func TestStateReportGolden(t *testing.T) {
 	sys := buildReportSystem(t)
 	rt := sys.RT

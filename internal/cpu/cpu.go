@@ -253,6 +253,13 @@ type CPU struct {
 	intrCost   uint64
 	nextIntr   uint64
 
+	// cycleStop, when non-zero, makes stepFastN stop chaining
+	// superblocks once the cycle counter reaches it — the pause
+	// mechanism RunUntil uses to park the CPU at a block-chain boundary
+	// without ever splitting a block (which would perturb BlockHits and
+	// break checkpoint determinism). Zero outside RunUntil.
+	cycleStop uint64
+
 	// Trace, when non-nil, observes every executed instruction after
 	// decode and before execution — the substrate for debugger-style
 	// tooling (cf. the paper's §7.2 discussion of stepping through

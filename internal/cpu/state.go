@@ -1,0 +1,284 @@
+// CPU state export/import for deterministic machine snapshots.
+//
+// ExportState captures everything a CPU's future execution depends on:
+// architectural state (registers, pc, flags operands, stack pointer is
+// a register), the microarchitectural predictors (BTB, RAS) whose
+// contents change simulated cycle counts, the interrupt-perturbation
+// schedule, and — crucially — the instruction cache, because stale
+// icache lines are architecturally visible in this machine: a CPU
+// keeps executing its snapshot of a page until FlushICache, so two
+// machines with identical memory but different resident lines can
+// diverge.
+//
+// The derived caches layered on each line (predecoded instructions,
+// superblocks) never change simulated behavior, but they do change the
+// Decode*/Block* statistics, and snapshot determinism demands that a
+// restored machine's stats evolve bit-identically to the uninterrupted
+// run. ExportState therefore records *which* offsets were decoded and
+// which headed superblocks; ImportState rebuilds those entries from
+// the line's byte snapshot (a pure, deterministic derivation) and then
+// overwrites the stats with the snapshot's values, so the rebuild
+// itself leaves no trace.
+//
+// Host wiring — the memory reference, the cost model, tracers, fault
+// injectors, device callbacks and the decode-cache line memo — is
+// deliberately not state: it belongs to the constructing harness, and
+// the memo is rebuilt lazily. state_test.go enumerates every CPU field
+// and fails compilation of a lie: adding a field without classifying
+// it as serialized or host-wiring breaks the build gate.
+
+package cpu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// BTBState is one exported branch-target-buffer entry.
+type BTBState struct {
+	Valid   bool
+	Tag     uint64
+	Counter uint8
+	Target  uint64
+}
+
+// ICLineState is one exported instruction-cache line: the page-byte
+// snapshot plus the offsets of its derived decode-cache and superblock
+// entries (offsets only — the entries rebuild deterministically from
+// Bytes at import).
+type ICLineState struct {
+	PN      uint64 // page number
+	Version uint64 // page write-version at fill time
+	Bytes   []byte // PageSize-long snapshot
+
+	Decoded []uint16 // in-page offsets with a predecoded instruction
+	SBHeads []uint16 // in-page offsets heading a real superblock
+	SBRject []uint16 // in-page offsets caching the reject sentinel
+}
+
+// State is the complete serializable state of one CPU.
+type State struct {
+	Regs   [isa.NumRegs]uint64
+	PC     uint64
+	Cycles uint64
+	Halted bool
+	CmpA   int64
+	CmpB   int64
+
+	BTB  []BTBState
+	RAS  []uint64
+	RASN int
+
+	DecodeCache bool
+	Superblocks bool
+
+	Mode       uint8
+	IntrOn     bool
+	IntrPeriod uint64
+	IntrCost   uint64
+	NextIntr   uint64
+
+	ICache []ICLineState // sorted by PN
+	Stats  Stats
+}
+
+// ExportState captures this CPU's complete state. The result shares no
+// memory with the CPU: mutating either afterwards is safe.
+func (c *CPU) ExportState() State {
+	s := State{
+		Regs:        c.regs,
+		PC:          c.pc,
+		Cycles:      c.cycles,
+		Halted:      c.halted,
+		CmpA:        c.cmpA,
+		CmpB:        c.cmpB,
+		RAS:         append([]uint64(nil), c.ras...),
+		RASN:        c.rasN,
+		DecodeCache: c.decodeCache,
+		Superblocks: c.superblocks,
+		Mode:        uint8(c.mode),
+		IntrOn:      c.intrOn,
+		IntrPeriod:  c.intrPeriod,
+		IntrCost:    c.intrCost,
+		NextIntr:    c.nextIntr,
+		Stats:       c.stats,
+	}
+	s.BTB = make([]BTBState, len(c.btb))
+	for i, e := range c.btb {
+		s.BTB[i] = BTBState{Valid: e.valid, Tag: e.tag, Counter: e.counter, Target: e.target}
+	}
+	pns := make([]uint64, 0, len(c.icache))
+	for pn := range c.icache {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		line := c.icache[pn]
+		ls := ICLineState{PN: pn, Version: line.version, Bytes: append([]byte(nil), line.bytes...)}
+		if line.dec != nil {
+			for off, in := range line.dec {
+				if in.Len != 0 {
+					ls.Decoded = append(ls.Decoded, uint16(off))
+				}
+			}
+		}
+		if line.sb != nil {
+			for off, b := range line.sb {
+				if b == nil {
+					continue
+				}
+				if len(b.entries) == 0 {
+					ls.SBRject = append(ls.SBRject, uint16(off))
+				} else {
+					ls.SBHeads = append(ls.SBHeads, uint16(off))
+				}
+			}
+		}
+		s.ICache = append(s.ICache, ls)
+	}
+	return s
+}
+
+// decodeLineInst decodes the instruction at in-page offset off from a
+// line's byte snapshot, mirroring stepDecode's NOPN handling. It is
+// the deterministic derivation ImportState replays to rebuild decode
+// cache entries.
+func decodeLineInst(line *icLine, off int) (isa.Inst, error) {
+	w := line.bytes[off:]
+	if len(w) > maxInstLen {
+		w = w[:maxInstLen]
+	}
+	if len(w) >= 2 && isa.Op(w[0]) == isa.NOPN {
+		length := int(w[1])
+		if length < 2 {
+			return isa.Inst{}, fmt.Errorf("cpu: NOPN length %d at snapshot offset %#x", length, off)
+		}
+		return isa.Inst{Op: isa.NOPN, Len: length}, nil
+	}
+	return isa.Decode(w)
+}
+
+// ImportState restores a previously exported state onto this CPU. The
+// CPU must have been constructed with the same Config the exporting
+// CPU used (the predictor geometry is checked; the cost model is the
+// caller's contract). Derived caches are rebuilt from the line byte
+// snapshots and the statistics then overwritten from the snapshot, so
+// a restored CPU's counters evolve bit-identically to the exporting
+// run.
+func (c *CPU) ImportState(s State) error {
+	if len(s.BTB) != len(c.btb) {
+		return fmt.Errorf("cpu: snapshot BTB has %d entries, this CPU %d (different Config)", len(s.BTB), len(c.btb))
+	}
+	if len(s.RAS) != len(c.ras) {
+		return fmt.Errorf("cpu: snapshot RAS depth %d, this CPU %d (different Config)", len(s.RAS), len(c.ras))
+	}
+	icache := make(map[uint64]*icLine, len(s.ICache))
+	for i := range s.ICache {
+		ls := &s.ICache[i]
+		if len(ls.Bytes) != mem.PageSize {
+			return fmt.Errorf("cpu: snapshot icache line %#x holds %d bytes, want %d", ls.PN, len(ls.Bytes), mem.PageSize)
+		}
+		if _, dup := icache[ls.PN]; dup {
+			return fmt.Errorf("cpu: snapshot repeats icache line %#x", ls.PN)
+		}
+		line := &icLine{bytes: append([]byte(nil), ls.Bytes...), version: ls.Version}
+		if len(ls.Decoded) > 0 {
+			line.dec = make([]isa.Inst, mem.PageSize)
+			for _, off := range ls.Decoded {
+				if int(off)+maxInstLen > mem.PageSize {
+					return fmt.Errorf("cpu: snapshot decode offset %#x too close to the line end", off)
+				}
+				in, err := decodeLineInst(line, int(off))
+				if err != nil {
+					return fmt.Errorf("cpu: rebuilding decode cache for line %#x: %w", ls.PN, err)
+				}
+				line.dec[off] = in
+			}
+		}
+		icache[ls.PN] = line
+	}
+	c.regs = s.Regs
+	c.pc = s.PC
+	c.cycles = s.Cycles
+	c.halted = s.Halted
+	c.cmpA, c.cmpB = s.CmpA, s.CmpB
+	for i, e := range s.BTB {
+		c.btb[i] = btbEntry{valid: e.Valid, tag: e.Tag, counter: e.Counter, target: e.Target}
+	}
+	copy(c.ras, s.RAS)
+	c.rasN = s.RASN
+	c.decodeCache = s.DecodeCache
+	c.superblocks = s.Superblocks
+	c.mode = Mode(s.Mode)
+	c.intrOn = s.IntrOn
+	c.intrPeriod = s.IntrPeriod
+	c.intrCost = s.IntrCost
+	c.nextIntr = s.NextIntr
+	c.icache = icache
+	c.lastPN, c.lastLine = 0, nil // memo points at dropped lines
+	c.cycleStop = 0
+	// Superblock rebuild goes through buildBlock — the same derivation
+	// the original run performed — which bumps nsb and BlockBuilds;
+	// overwriting the stats afterwards erases the rebuild's traces.
+	for i := range s.ICache {
+		ls := &s.ICache[i]
+		line := c.icache[ls.PN]
+		for _, off := range ls.SBHeads {
+			b := c.buildBlock(line, ls.PN<<mem.PageShift|uint64(off))
+			if len(b.entries) == 0 {
+				return fmt.Errorf("cpu: snapshot superblock head %#x rebuilds empty", ls.PN<<mem.PageShift|uint64(off))
+			}
+		}
+		for _, off := range ls.SBRject {
+			b := c.buildBlock(line, ls.PN<<mem.PageShift|uint64(off))
+			if len(b.entries) != 0 {
+				return fmt.Errorf("cpu: snapshot reject sentinel %#x rebuilds non-empty", ls.PN<<mem.PageShift|uint64(off))
+			}
+		}
+	}
+	c.stats = s.Stats
+	return nil
+}
+
+// RunUntil executes until the cycle counter reaches target, the CPU
+// halts, an error occurs, or maxSteps instructions retire. It returns
+// the number of instructions executed.
+//
+// The pause point never perturbs the run: on the hook-free fast path
+// the superblock chain is interrupted only between block dispatches
+// (execBlock is never asked to split a block it would otherwise run
+// whole, which would change the BlockHits accounting), so a run paused
+// by RunUntil and then continued retires the same instructions, cycles
+// and statistics as one uninterrupted Run — the invariant the
+// checkpoint difftests pin.
+func (c *CPU) RunUntil(target, maxSteps uint64) (uint64, error) {
+	var steps uint64
+	if c.Trace == nil && c.tracer == nil && c.inject == nil {
+		c.cycleStop = target
+		defer func() { c.cycleStop = 0 }()
+		for steps < maxSteps && c.cycles < target {
+			if c.halted {
+				return steps, nil
+			}
+			n, err := c.stepFastN(maxSteps - steps)
+			steps += n
+			if err != nil {
+				return steps, err
+			}
+		}
+		return steps, nil
+	}
+	for steps < maxSteps && c.cycles < target {
+		if c.halted {
+			return steps, nil
+		}
+		if err := c.Step(); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	return steps, nil
+}

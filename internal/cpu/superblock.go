@@ -281,6 +281,12 @@ func (c *CPU) stepFastN(budget uint64) (uint64, error) {
 				return total, err
 			}
 			pc = c.pc
+			if c.cycleStop != 0 && c.cycles >= c.cycleStop {
+				// RunUntil's pause point: between block dispatches, never
+				// inside one. total > 0 here — execBlock either retired at
+				// least one instruction or returned the error above.
+				return total, nil
+			}
 		}
 		if total > 0 {
 			return total, nil

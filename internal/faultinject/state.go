@@ -1,0 +1,63 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlanState is the serializable progress of a Plan: which points have
+// fired and how far each deterministic operation counter has advanced.
+// The points themselves are not part of the state — they re-derive
+// from the (seed, Opts) pair — so a snapshot-based chaos replay
+// rebuilds the plan with New and installs the counters with Import,
+// landing on exactly the faults the original run had left.
+type PlanState struct {
+	Fired    []bool    `json:"fired"`
+	Ops      []OpCount `json:"ops,omitempty"`
+	PokeOpen bool      `json:"poke_open,omitempty"`
+}
+
+// OpCount is one operation counter: how many operations of Kind on
+// CPU (-1 for machine-wide kinds) the plan has observed.
+type OpCount struct {
+	Kind  Kind   `json:"kind"`
+	CPU   int    `json:"cpu"`
+	Count uint64 `json:"count"`
+}
+
+// Export captures the plan's progress in a deterministic order (the
+// counter list is sorted by kind then CPU, so equal states encode
+// equal).
+func (p *Plan) Export() PlanState {
+	st := PlanState{
+		Fired:    append([]bool(nil), p.fired...),
+		PokeOpen: p.pokeOpen,
+	}
+	for k, n := range p.ops {
+		st.Ops = append(st.Ops, OpCount{Kind: k.kind, CPU: k.cpu, Count: n})
+	}
+	sort.Slice(st.Ops, func(i, j int) bool {
+		if st.Ops[i].Kind != st.Ops[j].Kind {
+			return st.Ops[i].Kind < st.Ops[j].Kind
+		}
+		return st.Ops[i].CPU < st.Ops[j].CPU
+	})
+	return st
+}
+
+// Import installs a previously exported progress state. The plan must
+// have the same number of points as the one the state came from —
+// i.e. be rebuilt from the same (seed, Opts).
+func (p *Plan) Import(st PlanState) error {
+	if len(st.Fired) != len(p.points) {
+		return fmt.Errorf("faultinject: state has %d fired flags, plan has %d points (different seed or options?)",
+			len(st.Fired), len(p.points))
+	}
+	copy(p.fired, st.Fired)
+	p.ops = make(map[opKey]uint64, len(st.Ops))
+	for _, oc := range st.Ops {
+		p.ops[opKey{oc.Kind, oc.CPU}] = oc.Count
+	}
+	p.pokeOpen = st.PokeOpen
+	return nil
+}

@@ -1,0 +1,58 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestPlanStateRoundTrip: fire part of a plan, export its progress,
+// rebuild the plan from the same seed, import — the rebuilt plan must
+// behave exactly like the original from that point on.
+func TestPlanStateRoundTrip(t *testing.T) {
+	opts := Opts{Points: 8, CPUs: 2, MaxOp: 10, MaxCycle: 1000}
+	p := New(99, opts)
+	// Drive deterministic operation streams past some points.
+	for i := 0; i < 6; i++ {
+		p.ProtectFault(0x1000, 64, mem.RX)
+		p.DropFlush(i%2, 0x2000, 16)
+		p.FetchFault(i%2, 0x3000, uint64(200*i))
+	}
+	st := p.Export()
+	if st2 := p.Export(); !reflect.DeepEqual(st, st2) {
+		t.Fatalf("Export is not deterministic:\n%+v\n%+v", st, st2)
+	}
+
+	q := New(99, opts)
+	if err := q.Import(st); err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if p.Remaining() != q.Remaining() {
+		t.Fatalf("Remaining: original %d, imported %d", p.Remaining(), q.Remaining())
+	}
+	// From here both plans must fire identically.
+	for i := 0; i < 10; i++ {
+		pe := p.ProtectFault(0x4000, 32, mem.RW)
+		qe := q.ProtectFault(0x4000, 32, mem.RW)
+		if (pe == nil) != (qe == nil) {
+			t.Fatalf("op %d: protect fired %v vs %v", i, pe, qe)
+		}
+		if p.DropFlush(0, 0x5000, 8) != q.DropFlush(0, 0x5000, 8) {
+			t.Fatalf("op %d: drop-flush diverged", i)
+		}
+	}
+	if !reflect.DeepEqual(p.Export(), q.Export()) {
+		t.Fatalf("states diverged after identical operation streams")
+	}
+}
+
+// TestPlanImportMismatch: a state from a different plan shape is
+// refused rather than silently misapplied.
+func TestPlanImportMismatch(t *testing.T) {
+	p := New(1, Opts{Points: 4})
+	st := New(2, Opts{Points: 6}).Export()
+	if err := p.Import(st); err == nil {
+		t.Fatalf("Import accepted a state with the wrong point count")
+	}
+}

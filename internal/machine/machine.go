@@ -202,6 +202,14 @@ func (m *Machine) Console() []byte { return m.console.Bytes() }
 // ResetConsole clears the console buffer.
 func (m *Machine) ResetConsole() { m.console.Reset() }
 
+// RestoreConsole replaces the console buffer's contents — the snapshot
+// layer uses it so a restored program's console output continues from
+// where the exported run left off.
+func (m *Machine) RestoreConsole(data []byte) {
+	m.console.Reset()
+	m.console.Write(data)
+}
+
 // Symbol resolves a symbol address, failing loudly for typos.
 func (m *Machine) Symbol(name string) (uint64, error) {
 	s, ok := m.Image.Symbols[name]

@@ -71,9 +71,10 @@ func (t Type) String() string {
 // series under the lock and evaluate readers outside it, so a reader
 // may itself consult the registry (CounterTotal) without deadlocking.
 type Registry struct {
-	mu    sync.Mutex
-	clock func() uint64
-	fams  map[string]*family
+	mu        sync.Mutex
+	clock     func() uint64
+	baseCycle uint64
+	fams      map[string]*family
 }
 
 type family struct {
@@ -105,6 +106,27 @@ func (r *Registry) SetClock(f func() uint64) {
 	r.mu.Lock()
 	r.clock = f
 	r.mu.Unlock()
+}
+
+// SetBaseCycle records the simulated cycle the attached system
+// *started* at — nonzero exactly when it was restored from a
+// checkpoint rather than booted from cycle zero. The value is stamped
+// onto every snapshot so replay consumers (mvtop, ReadSnapshotLog
+// rate math) can distinguish "counted since cycle 0" from "counted
+// since the restore point" in the first sample window.
+func (r *Registry) SetBaseCycle(c uint64) {
+	r.mu.Lock()
+	r.baseCycle = c
+	r.mu.Unlock()
+}
+
+// BaseCycle returns the cycle recorded by SetBaseCycle (0 for runs
+// that started from boot).
+func (r *Registry) BaseCycle() uint64 {
+	r.mu.Lock()
+	c := r.baseCycle
+	r.mu.Unlock()
+	return c
 }
 
 // Now returns the current simulated cycle (0 without a clock).

@@ -25,6 +25,52 @@ func TestReadSnapshotLog(t *testing.T) {
 	}
 }
 
+// TestReadSnapshotLogRestoredRun pins the restored-from-checkpoint
+// shape: a run that began at a nonzero base cycle stamps base_cycle on
+// every row, and rate math over the first window must use the elapsed
+// window, not the absolute counter.
+func TestReadSnapshotLogRestoredRun(t *testing.T) {
+	reg := New()
+	var now uint64 = 500_000
+	reg.SetClock(func() uint64 { return now })
+	reg.SetBaseCycle(500_000) // restored exactly at the clock's start
+	reg.Counter("ops_total", "").Add(0)
+
+	var buf strings.Builder
+	s := NewSampler(reg, &buf, 1000, FormatJSONL)
+	s.Tick(now) // first window: zero elapsed cycles
+	now += 2500
+	s.Tick(now)
+
+	snaps, err := ReadSnapshotLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	for i, snap := range snaps {
+		if snap.BaseCycle != 500_000 {
+			t.Errorf("snaps[%d].BaseCycle = %d, want 500000", i, snap.BaseCycle)
+		}
+	}
+	if got := snaps[0].WindowCycles(); got != 0 {
+		t.Errorf("first-window elapsed = %d, want 0 (restored run had executed nothing)", got)
+	}
+	if got := snaps[1].WindowCycles(); got != 2500 {
+		t.Errorf("second-window elapsed = %d, want 2500", got)
+	}
+	// A fresh-boot row without the field keeps the zero value.
+	plain, err := ReadSnapshotLog(strings.NewReader(`{"cycle": 10, "metrics": []}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].BaseCycle != 0 || plain[0].WindowCycles() != 10 {
+		t.Errorf("fresh-boot row: base=%d window=%d, want 0 and 10",
+			plain[0].BaseCycle, plain[0].WindowCycles())
+	}
+}
+
 // TestReadSnapshotLogTruncatedFinalRow covers the normal crash shape:
 // the sampled process died mid-write, leaving a torn last line. The
 // recording up to that point must replay.

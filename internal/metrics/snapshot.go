@@ -12,8 +12,13 @@ import (
 // payload of mvrun's /metrics.json endpoint, of the JSONL sampler
 // rows, and of the metrics section in mvbench -json output.
 type Snapshot struct {
-	Cycle    uint64         `json:"cycle"`
-	Families []FamilyValues `json:"metrics"`
+	Cycle uint64 `json:"cycle"`
+	// BaseCycle is the simulated cycle the run started at: zero for a
+	// boot-from-scratch run, the checkpoint's cycle for a run restored
+	// with mvrun -restore. Consumers computing rates over the first
+	// sample window must divide by Cycle-BaseCycle, not Cycle.
+	BaseCycle uint64         `json:"base_cycle,omitempty"`
+	Families  []FamilyValues `json:"metrics"`
 }
 
 // FamilyValues is one exported metric family.
@@ -71,6 +76,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if clock != nil {
 		snap.Cycle = clock()
 	}
+	snap.BaseCycle = r.BaseCycle()
 	for _, f := range fams {
 		fv := FamilyValues{Name: f.name, Help: f.help, Type: f.typ.String()}
 		for _, g := range byFam[f] {
@@ -104,6 +110,18 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Families = append(snap.Families, fv)
 	}
 	return snap
+}
+
+// WindowCycles returns the cycles this run has actually executed when
+// the snapshot was taken: Cycle minus the restore point. For a run
+// restored from a checkpoint the absolute cycle counter starts at the
+// checkpoint's cycle, so rate math over the first sample window must
+// use this, not Cycle, as the denominator.
+func (s *Snapshot) WindowCycles() uint64 {
+	if s.Cycle < s.BaseCycle {
+		return 0
+	}
+	return s.Cycle - s.BaseCycle
 }
 
 // WriteJSON writes the snapshot as indented JSON.
