@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race smoke trace-smoke checkpoint-smoke bench
+.PHONY: check fmt vet build test race smoke trace-smoke checkpoint-smoke fleet-smoke bench
 
-check: fmt vet build test race smoke trace-smoke checkpoint-smoke
+check: fmt vet build test race smoke trace-smoke checkpoint-smoke fleet-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -95,6 +95,25 @@ checkpoint-smoke:
 		echo "mvdbg time travel did not reproduce the forward digest:"; \
 		cat /tmp/mv-ckpt-dbg.txt; exit 1; fi
 	@grep '^digest ' /tmp/mv-ckpt-dbg.txt | head -1
+
+# Fleet smoke: a small supervised fleet under a chaos storm — machine
+# kills and commit faults during config-flip storms — must finish with
+# every kill recovered by a snapshot restart and zero request loss
+# (mvfleet exits non-zero otherwise), and two identically-seeded runs
+# must report byte-identical JSON (host timing stripped). Leaves a
+# metrics snapshot at /tmp/mv-fleet-metrics.json for CI to archive.
+fleet-smoke:
+	@$(GO) run ./cmd/mvfleet -shards 4 -machines 16 -rounds 12 -storm 3 \
+		-chaos -kill-rate 60 -fault-points 4 -seed 7 -json \
+		-metrics-out /tmp/mv-fleet-metrics.json > /tmp/mv-fleet-a.json
+	@$(GO) run ./cmd/mvfleet -shards 4 -machines 16 -rounds 12 -storm 3 \
+		-chaos -kill-rate 60 -fault-points 4 -seed 7 -json > /tmp/mv-fleet-b.json
+	@grep -v host_seconds /tmp/mv-fleet-a.json > /tmp/mv-fleet-a.det.json
+	@grep -v host_seconds /tmp/mv-fleet-b.json > /tmp/mv-fleet-b.det.json
+	@if ! cmp -s /tmp/mv-fleet-a.det.json /tmp/mv-fleet-b.det.json; then \
+		echo "identically-seeded fleet runs diverged:"; \
+		diff /tmp/mv-fleet-a.det.json /tmp/mv-fleet-b.det.json; exit 1; fi
+	@grep -E '"(kills_total|restarts_total|migrations_total|requests_served|requests_scheduled)"' /tmp/mv-fleet-a.json
 
 bench:
 	$(GO) test -bench=. -benchmem

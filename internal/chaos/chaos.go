@@ -723,10 +723,12 @@ func sabotageText(m *machine.Machine, rt *core.Runtime) error {
 	return m.Mem.WriteForce(addr, b[:])
 }
 
-// callResumed invokes a guest function on the primary CPU, transparently
+// CallResumed invokes a guest function on the primary CPU, transparently
 // re-stepping across injected spurious fetch faults (the PC holds, so
-// resuming the run retries the same fetch).
-func callResumed(m *machine.Machine, name string, args ...uint64) (uint64, error) {
+// resuming the run retries the same fetch). Exported for harnesses
+// layered above chaos — the fleet supervisor serves requests under
+// fault plans and must ride out spurious faults the same way.
+func CallResumed(m *machine.Machine, name string, args ...uint64) (uint64, error) {
 	c := m.CPU
 	if err := m.StartCall(c, name, args...); err != nil {
 		return 0, err
@@ -740,6 +742,11 @@ func callResumed(m *machine.Machine, name string, args ...uint64) (uint64, error
 		}
 		return c.Reg(0), nil
 	}
+}
+
+// callResumed keeps the package-internal name used by the workloads.
+func callResumed(m *machine.Machine, name string, args ...uint64) (uint64, error) {
+	return CallResumed(m, name, args...)
 }
 
 // stepToHalt drives a CPU until it halts, riding out injected fetch
@@ -783,10 +790,15 @@ func revertUntilClean(rt *core.Runtime) error {
 	return fmt.Errorf("chaos: revert still failing after 64 attempts: %w", err)
 }
 
-func isInjectedFetchFault(err error) bool {
+// IsInjectedFetchFault reports whether err is (or wraps) a spurious
+// injected instruction-fetch fault — transient by definition: the PC
+// does not advance, so re-running the CPU retries the fetch.
+func IsInjectedFetchFault(err error) bool {
 	var inj *faultinject.Fault
 	return errors.As(err, &inj) && inj.Point.Kind == faultinject.KindFetchFault
 }
+
+func isInjectedFetchFault(err error) bool { return IsInjectedFetchFault(err) }
 
 // assertOutsidePatchRanges checks no running CPU's PC sits inside a
 // text range the runtime may rewrite — the paper's interrupt-window

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/isa"
@@ -53,12 +54,20 @@ type RuntimeState struct {
 	OpSeq    uint64
 }
 
-// ExportState captures the runtime's durable state. It fails when a
-// transaction is open: commits are atomic, so there is no meaningful
-// mid-commit state to snapshot.
+// ErrNotQuiesced reports that the runtime is inside an open commit or
+// revert transaction, so its binding state is momentarily
+// unobservable. The condition is transient by construction — every
+// transaction either commits or rolls back — so callers (snapshot
+// capture, fleet supervisors) should treat it as "retry once the
+// current operation finishes", never as corruption.
+var ErrNotQuiesced = errors.New("core: runtime is inside an open transaction (not commit-quiesced)")
+
+// ExportState captures the runtime's durable state. It fails with
+// ErrNotQuiesced when a transaction is open: commits are atomic, so
+// there is no meaningful mid-commit state to snapshot.
 func (rt *Runtime) ExportState() (RuntimeState, error) {
 	if rt.tx != nil {
-		return RuntimeState{}, fmt.Errorf("core: cannot snapshot runtime state inside an open transaction")
+		return RuntimeState{}, fmt.Errorf("cannot snapshot runtime state: %w", ErrNotQuiesced)
 	}
 	var s RuntimeState
 	s.Funcs = make([]FuncBindingState, 0, len(rt.funcs))
@@ -100,7 +109,7 @@ func (rt *Runtime) ExportState() (RuntimeState, error) {
 // status are recovered by re-reading the call-site windows.
 func (rt *Runtime) ImportState(s RuntimeState) error {
 	if rt.tx != nil {
-		return fmt.Errorf("core: cannot restore runtime state inside an open transaction")
+		return fmt.Errorf("cannot restore runtime state: %w", ErrNotQuiesced)
 	}
 	if len(s.Funcs) != len(rt.funcs) {
 		return fmt.Errorf("core: snapshot has %d functions, image has %d", len(s.Funcs), len(rt.funcs))

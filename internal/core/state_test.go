@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"repro/internal/machine"
 	"testing"
@@ -143,5 +144,20 @@ func TestRuntimeStateImportRejectsMismatch(t *testing.T) {
 	bad.Funcs[0].CommittedAddr = 0xdead_beef
 	if err := sys.RT.ImportState(bad); err == nil {
 		t.Fatal("imported a binding to an unknown variant address")
+	}
+}
+
+// TestExportStateNotQuiescedIsTyped pins the supervisor contract: a
+// mid-transaction export fails with the retryable ErrNotQuiesced
+// sentinel, matchable through errors.Is, not a one-off string.
+func TestExportStateNotQuiescedIsTyped(t *testing.T) {
+	sys := buildFig2(t)
+	sys.RT.tx = &txn{}
+	defer func() { sys.RT.tx = nil }()
+	if _, err := sys.RT.ExportState(); !errors.Is(err, ErrNotQuiesced) {
+		t.Fatalf("ExportState inside txn = %v, want errors.Is ErrNotQuiesced", err)
+	}
+	if err := sys.RT.ImportState(RuntimeState{}); !errors.Is(err, ErrNotQuiesced) {
+		t.Fatalf("ImportState inside txn = %v, want errors.Is ErrNotQuiesced", err)
 	}
 }

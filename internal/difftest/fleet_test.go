@@ -1,0 +1,73 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestFleetRestartConvergesToUnkilledRun is the restart-from-snapshot
+// determinism oracle: a fleet where chaos power-cuts machines mid-run
+// (mid-batch and mid-commit) must converge, after snapshot restores
+// and round replay, to exactly the per-machine final snapshots an
+// unkilled fleet produces. Byte-identical digests, not just matching
+// counters — the restore path is only correct if it loses nothing and
+// invents nothing.
+func TestFleetRestartConvergesToUnkilledRun(t *testing.T) {
+	base := fleet.Config{
+		Seed: 1234, Shards: 3, Machines: 12, Rounds: 16,
+	}
+	run := func(chaos bool) *fleet.Result {
+		cfg := base
+		cfg.Chaos = chaos
+		if chaos {
+			cfg.KillRate = 90
+		}
+		fl, err := fleet.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	quiet := run(false)
+	stormy := run(true)
+
+	if stormy.Kills == 0 {
+		t.Fatal("chaos run killed nothing; the oracle compared two quiet runs")
+	}
+	if stormy.Failed != 0 {
+		t.Fatalf("chaos run lost %d machines permanently", stormy.Failed)
+	}
+	if len(quiet.Machines) != len(stormy.Machines) {
+		t.Fatalf("machine counts differ: %d vs %d", len(quiet.Machines), len(stormy.Machines))
+	}
+	killed := 0
+	for i, q := range quiet.Machines {
+		s := stormy.Machines[i]
+		if q.ID != s.ID {
+			t.Fatalf("machine order differs at %d: %d vs %d", i, q.ID, s.ID)
+		}
+		if s.Kills > 0 {
+			killed++
+			if s.Restarts == 0 {
+				t.Errorf("machine %d killed %d times but never restarted from snapshot", s.ID, s.Kills)
+			}
+		}
+		if q.Digest != s.Digest {
+			t.Errorf("machine %d final snapshot diverged (kills=%d restarts=%d):\nquiet:  %s\nstormy: %s",
+				q.ID, s.Kills, s.Restarts, q.Digest, s.Digest)
+		}
+		if q.Requests != s.Requests || q.Checksum != s.Checksum {
+			t.Errorf("machine %d guest state diverged: requests %d vs %d, checksum %#x vs %#x",
+				q.ID, q.Requests, s.Requests, q.Checksum, s.Checksum)
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no machine took a kill; raise KillRate")
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+// Registry mounting: Merge grafts one registry's families into
+// another's export surface, live. A fleet of N shards can then keep
+// per-shard registries — incremented lock-free with respect to each
+// other — while a single root registry serves the one Prometheus
+// endpoint, with an extra label per shard keeping series distinct
+// instead of colliding by name.
+
+// mount is one merged source registry plus the labels its series gain
+// on export.
+type mount struct {
+	src   *Registry
+	extra []Label
+}
+
+// Merge mounts src into r: every family and series src holds — now or
+// in the future — appears in r's exports (Prometheus, Snapshot) with
+// extra appended to its labels. The mount is live, not a copy: series
+// created in src after the Merge are exported too, and values are
+// read at export time. Mounted families with the same name as a local
+// (or previously mounted) family are merged into it when the types
+// agree; a type clash drops the mounted family rather than corrupt
+// the exposition. Callers are responsible for supplying extra labels
+// that keep same-named series distinct (e.g. shard="3").
+//
+// Mounts nest (a mounted registry's own mounts are followed,
+// accumulating labels) and cycles are tolerated: a registry already
+// visited during one export pass is skipped. Local-only accessors
+// (CounterTotal, Has) do not traverse mounts.
+func (r *Registry) Merge(src *Registry, extra ...Label) {
+	if src == nil || src == r {
+		return
+	}
+	r.mu.Lock()
+	r.mounts = append(r.mounts, mount{src: src, extra: append([]Label(nil), extra...)})
+	r.mu.Unlock()
+}
+
+// collect appends r's families (and, recursively, its mounts') to the
+// accumulator, re-keying every series with the accumulated extra
+// labels. Families merge by name; the first registration fixes help
+// text and type.
+func (r *Registry) collect(extra []Label, byName map[string]*family, byFam map[*family][]gathered, order *[]*family, visited map[*Registry]bool) {
+	if visited[r] {
+		return
+	}
+	visited[r] = true
+
+	// Copy the structure under the lock; evaluate nothing here.
+	type rawFam struct {
+		name, help string
+		typ        Type
+		series     []*series
+	}
+	r.mu.Lock()
+	raws := make([]rawFam, 0, len(r.fams))
+	for _, f := range r.fams {
+		rf := rawFam{name: f.name, help: f.help, typ: f.typ}
+		for _, s := range f.series {
+			rf.series = append(rf.series, s)
+		}
+		raws = append(raws, rf)
+	}
+	mounts := append([]mount(nil), r.mounts...)
+	r.mu.Unlock()
+
+	for _, rf := range raws {
+		out, ok := byName[rf.name]
+		if !ok {
+			out = &family{name: rf.name, help: rf.help, typ: rf.typ}
+			byName[rf.name] = out
+			*order = append(*order, out)
+		} else if out.typ != rf.typ {
+			continue
+		}
+		for _, s := range rf.series {
+			labels := s.labels
+			if len(extra) > 0 {
+				labels = sortLabels(append(append([]Label(nil), s.labels...), extra...))
+			}
+			byFam[out] = append(byFam[out], gathered{fam: out, sig: signature(labels), labels: labels, s: s})
+		}
+	}
+	for _, m := range mounts {
+		sub := extra
+		if len(m.extra) > 0 {
+			sub = append(append([]Label(nil), extra...), m.extra...)
+		}
+		m.src.collect(sub, byName, byFam, order, visited)
+	}
+}

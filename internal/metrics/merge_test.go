@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMergeExportsMountedSeries pins the fleet export shape: two
+// shard registries with identically named counters merge into one
+// root without colliding, because the mount's extra label keys the
+// series apart.
+func TestMergeExportsMountedSeries(t *testing.T) {
+	root := New()
+	s0, s1 := New(), New()
+	s0.Counter("fleet_requests_total", "requests").Add(7)
+	s1.Counter("fleet_requests_total", "requests").Add(9)
+	root.Merge(s0, L("shard", "0"))
+	root.Merge(s1, L("shard", "1"))
+
+	var sb strings.Builder
+	if err := root.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`fleet_requests_total{shard="0"} 7`,
+		`fleet_requests_total{shard="1"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE fleet_requests_total counter"); n != 1 {
+		t.Errorf("family header rendered %d times, want 1:\n%s", n, out)
+	}
+
+	snap := root.Snapshot()
+	fam := snap.Find("fleet_requests_total")
+	if fam == nil || len(fam.Series) != 2 {
+		t.Fatalf("snapshot families = %+v, want one family with two series", snap.Families)
+	}
+	if fam.Series[0].Labels["shard"] != "0" || *fam.Series[0].Value != 7 {
+		t.Errorf("series 0 = labels %v value %v", fam.Series[0].Labels, *fam.Series[0].Value)
+	}
+}
+
+// TestMergeIsLive pins that a mount is a view, not a copy: series
+// created and values added after the Merge call show up on the next
+// export.
+func TestMergeIsLive(t *testing.T) {
+	root, shard := New(), New()
+	root.Merge(shard, L("shard", "2"))
+	c := shard.Counter("late_total", "created after the mount")
+	c.Add(3)
+	shard.Histogram("late_latency", "hist after the mount").Observe(16)
+
+	snap := root.Snapshot()
+	if fam := snap.Find("late_total"); fam == nil || *fam.Series[0].Value != 3 {
+		t.Fatalf("late counter not live: %+v", snap.Families)
+	}
+	fam := snap.Find("late_latency")
+	if fam == nil || fam.Series[0].Hist == nil || fam.Series[0].Hist.Count != 1 {
+		t.Fatalf("late histogram not live: %+v", snap.Families)
+	}
+	c.Add(2)
+	snap = root.Snapshot()
+	if fam := snap.Find("late_total"); *fam.Series[0].Value != 5 {
+		t.Fatalf("re-export did not re-read the mounted counter: %+v", fam.Series[0])
+	}
+}
+
+// TestMergeNestsAndMergesLocalFamilies: a mounted registry's own
+// mounts are followed with accumulated labels, and a mounted family
+// whose name matches a local one merges under a single header.
+func TestMergeNestsAndMergesLocalFamilies(t *testing.T) {
+	root, mid, leaf := New(), New(), New()
+	root.Counter("shared_total", "local and mounted").Add(1)
+	leaf.Counter("shared_total", "local and mounted").Add(10)
+	mid.Merge(leaf, L("leaf", "a"))
+	root.Merge(mid, L("mid", "x"))
+
+	var sb strings.Builder
+	if err := root.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "shared_total 1") {
+		t.Errorf("local series lost:\n%s", out)
+	}
+	if !strings.Contains(out, `shared_total{leaf="a",mid="x"} 10`) {
+		t.Errorf("nested mount labels wrong:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE shared_total counter"); n != 1 {
+		t.Errorf("family header rendered %d times, want 1:\n%s", n, out)
+	}
+}
+
+// TestMergeToleratesCycles: mutually mounted registries export each
+// series exactly once instead of recursing forever.
+func TestMergeToleratesCycles(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("a_total", "").Add(1)
+	b.Counter("b_total", "").Add(2)
+	a.Merge(b, L("from", "b"))
+	b.Merge(a, L("from", "a"))
+	snap := a.Snapshot()
+	if fam := snap.Find("a_total"); fam == nil || len(fam.Series) != 1 {
+		t.Fatalf("cycle export duplicated or lost a_total: %+v", snap.Families)
+	}
+	if fam := snap.Find("b_total"); fam == nil || len(fam.Series) != 1 {
+		t.Fatalf("cycle export duplicated or lost b_total: %+v", snap.Families)
+	}
+}

@@ -75,6 +75,7 @@ type Registry struct {
 	clock     func() uint64
 	baseCycle uint64
 	fams      map[string]*family
+	mounts    []mount // merged source registries (see Merge)
 }
 
 type family struct {

@@ -40,28 +40,27 @@ type SeriesValue struct {
 }
 
 // gathered is one series plus everything needed to evaluate it
-// outside the registry lock.
+// outside the registry lock: the label set and signature carry any
+// extra labels contributed by the mount path the series was reached
+// through (see Merge).
 type gathered struct {
-	fam *family
-	sig string
-	s   *series
+	fam    *family
+	sig    string
+	labels []Label
+	s      *series
 }
 
 func (r *Registry) gather() (func() uint64, []*family, map[*family][]gathered) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	clock := r.clock
-	fams := make([]*family, 0, len(r.fams))
-	for _, f := range r.fams {
-		fams = append(fams, f)
-	}
+	r.mu.Unlock()
+	byName := make(map[string]*family)
+	byFam := make(map[*family][]gathered)
+	var fams []*family
+	r.collect(nil, byName, byFam, &fams, make(map[*Registry]bool))
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	byFam := make(map[*family][]gathered, len(fams))
 	for _, f := range fams {
-		gs := make([]gathered, 0, len(f.series))
-		for sig, s := range f.series {
-			gs = append(gs, gathered{fam: f, sig: sig, s: s})
-		}
+		gs := byFam[f]
 		sort.Slice(gs, func(i, j int) bool { return gs[i].sig < gs[j].sig })
 		byFam[f] = gs
 	}
@@ -81,9 +80,9 @@ func (r *Registry) Snapshot() Snapshot {
 		fv := FamilyValues{Name: f.name, Help: f.help, Type: f.typ.String()}
 		for _, g := range byFam[f] {
 			sv := SeriesValue{sig: g.sig}
-			if len(g.s.labels) > 0 {
-				sv.Labels = make(map[string]string, len(g.s.labels))
-				for _, l := range g.s.labels {
+			if len(g.labels) > 0 {
+				sv.Labels = make(map[string]string, len(g.labels))
+				for _, l := range g.labels {
 					sv.Labels[l.Key] = l.Value
 				}
 			}

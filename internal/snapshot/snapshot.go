@@ -68,10 +68,17 @@ func ImageSum(img *link.Image) [32]byte {
 	return sum
 }
 
+// ErrNotQuiesced is the typed, retryable error Capture returns when
+// the runtime is inside an open commit/revert transaction. Commits
+// are atomic — there is no observable mid-commit state — but the
+// condition clears as soon as the operation finishes, so supervisors
+// should match it with errors.Is and retry the capture rather than
+// treat the machine as corrupt.
+var ErrNotQuiesced = core.ErrNotQuiesced
+
 // Capture exports the machine's complete state. rt may be nil when no
-// runtime is attached; when present it must not be inside an open
-// transaction (commits are atomic — there is no observable mid-commit
-// state).
+// runtime is attached; when present it must be commit-quiesced —
+// capturing inside an open transaction fails with ErrNotQuiesced.
 func Capture(m *machine.Machine, rt *core.Runtime) (*Snapshot, error) {
 	s := &Snapshot{
 		SimCycles: m.CPU.Cycles(),

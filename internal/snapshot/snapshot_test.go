@@ -2,10 +2,12 @@ package snapshot
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 )
 
@@ -313,4 +315,40 @@ func FuzzSnapshotDecode(f *testing.F) {
 			t.Fatal("accepted a non-canonical encoding")
 		}
 	})
+}
+
+// TestCaptureMidCommitNotQuiesced drives a real mid-commit instant —
+// a poke-step fault point hands control to the harness between two
+// phases of the breakpoint protocol, while the commit transaction is
+// open — and pins that Capture fails with the typed, retryable
+// ErrNotQuiesced, and that the capture succeeds once the commit
+// finishes.
+func TestCaptureMidCommitNotQuiesced(t *testing.T) {
+	a, _ := buildPair(t)
+	a.rt.SetCommitOptions(core.CommitOptions{Mode: core.ModeTextPoke})
+	plan := faultinject.Exact(faultinject.Point{Kind: faultinject.KindPokeStep, Op: 0})
+	var midErr error
+	var fired int
+	plan.OnPokeStep = func(phase int, addr, n uint64) {
+		if fired == 0 {
+			_, midErr = Capture(a.m, a.rt)
+		}
+		fired++
+	}
+	plan.Attach(a.m)
+	defer faultinject.Detach(a.m)
+
+	a.setSwitch(t, "mode", 1)
+	if _, err := a.rt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("poke-step point never fired; commit did not go through the breakpoint protocol")
+	}
+	if !errors.Is(midErr, ErrNotQuiesced) {
+		t.Fatalf("mid-commit Capture = %v, want errors.Is ErrNotQuiesced", midErr)
+	}
+	if _, err := Capture(a.m, a.rt); err != nil {
+		t.Fatalf("post-commit Capture = %v, want success once quiesced", err)
+	}
 }
