@@ -7,7 +7,7 @@
 //
 //	mvfleet [-shards n] [-machines n] [-rounds n] [-seed s]
 //	        [-storm every] [-chaos] [-kill-rate r] [-fault-points n]
-//	        [-mode parked|stop-machine|text-poke]
+//	        [-mode parked|stop-machine|text-poke] [-active-storms]
 //	        [-metrics-addr :9090] [-metrics-out file] [-json] [-v]
 //
 // Every run is bit-reproducible for a given seed: the load, the
@@ -36,6 +36,8 @@ var (
 	killRate    = flag.Int("kill-rate", 30, "per-(machine,round) kill probability out of 1000 (with -chaos)")
 	faultPts    = flag.Int("fault-points", 0, "per-machine commit fault points (with -chaos)")
 	mode        = flag.String("mode", "stop-machine", "commit mode: parked, stop-machine or text-poke")
+	activeStorm = flag.Bool("active-storms", false,
+		"park each machine inside a multiversed function before every storm (exercises the retry → OSR → park ladder)")
 	metricsAddr = flag.String("metrics-addr", "",
 		"serve /metrics (Prometheus) and /metrics.json on this address after the run")
 	metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file")
@@ -65,15 +67,16 @@ func run() error {
 	}
 
 	cfg := fleet.Config{
-		Seed:        *seed,
-		Shards:      *shards,
-		Machines:    *machines,
-		Rounds:      *rounds,
-		StormEvery:  *storm,
-		Mode:        cm,
-		Chaos:       *chaosOn,
-		KillRate:    *killRate,
-		FaultPoints: *faultPts,
+		Seed:         *seed,
+		Shards:       *shards,
+		Machines:     *machines,
+		Rounds:       *rounds,
+		StormEvery:   *storm,
+		Mode:         cm,
+		ActiveStorms: *activeStorm,
+		Chaos:        *chaosOn,
+		KillRate:     *killRate,
+		FaultPoints:  *faultPts,
 	}
 	fl, err := fleet.New(cfg)
 	if err != nil {
@@ -146,8 +149,8 @@ func run() error {
 func printSummary(res *fleet.Result) {
 	fmt.Printf("fleet: %d machines / %d shards, %d requests served of %d scheduled (%d incl. replays)\n",
 		len(res.Machines), len(res.Shards), res.Served, res.Scheduled, res.Requests)
-	fmt.Printf("chaos: %d kills, %d restarts, %d migrations, %d parked flips, %d commit aborts, %d failed\n",
-		res.Kills, res.Restarts, res.Migrations, res.ParkedFlips, res.CommitAborts, res.Failed)
+	fmt.Printf("chaos: %d kills, %d restarts, %d migrations, %d parked flips, %d osr commits (%d frames), %d commit aborts, %d failed\n",
+		res.Kills, res.Restarts, res.Migrations, res.ParkedFlips, res.OSRCommits, res.OSRTransfers, res.CommitAborts, res.Failed)
 	fmt.Printf("commit latency cycles: p50=%d p99=%d p999=%d; rendezvous p99=%d\n",
 		res.CommitP50, res.CommitP99, res.CommitP999, res.RendezvousP99)
 	for _, sh := range res.Shards {

@@ -12,9 +12,13 @@
 // With -concurrent it instead sweeps the cross-modifying-commit
 // property runs: operations land mid-execution on running CPUs under
 // the stop-machine rendezvous ("stop") or the BRK text-poke protocol
-// ("poke"), with activeness deferral:
+// ("poke"). -onactive selects what a commit does when the patched
+// function is live on a CPU stack: queue it for the next quiescent
+// point ("defer") or transfer the live frames into the new variant
+// inside the rendezvous ("osr", on-stack replacement — every deferral
+// must then be an accounted fallback, which the run asserts):
 //
-//	mvstress -concurrent [-cpus 1|2] [-mode stop|poke|all] ...
+//	mvstress -concurrent [-cpus 1|2] [-mode stop|poke|all] [-onactive defer|osr|all] ...
 //
 // On failure it prints the offending seed and configuration, writes a
 // JSON repro artifact if -artifact is given (for concurrent runs the
@@ -63,6 +67,7 @@ var (
 	concurrent = flag.Bool("concurrent", false, "sweep cross-modifying-commit runs (ops land on running CPUs)")
 	cpus       = flag.Int("cpus", 0, "concurrent mode: CPU count 1 or 2 (default sweeps both)")
 	mode       = flag.String("mode", "all", "concurrent mode: stop, poke or all")
+	onActive   = flag.String("onactive", "defer", "concurrent activeness policy: defer, osr or all")
 
 	replaySnap = flag.String("replay-snap", "", "replay a failure artifact from its <artifact>.snap snapshot and cross-check against the seed-based rerun")
 )
@@ -105,17 +110,29 @@ func configs() []chaos.Config {
 			fmt.Fprintf(os.Stderr, "mvstress: unknown mode %q (want stop, poke or all)\n", *mode)
 			os.Exit(2)
 		}
+		var policies []string
+		switch *onActive {
+		case "all":
+			policies = []string{"defer", "osr"}
+		case "defer", "osr":
+			policies = []string{*onActive}
+		default:
+			fmt.Fprintf(os.Stderr, "mvstress: unknown onactive policy %q (want defer, osr or all)\n", *onActive)
+			os.Exit(2)
+		}
 		ncpus := []int{1, 2}
 		if *cpus != 0 {
 			ncpus = []int{*cpus}
 		}
 		for _, n := range names {
 			for _, md := range modes {
-				for _, nc := range ncpus {
-					cfgs = append(cfgs, chaos.Config{
-						Workload: n, Steps: *steps, Faults: *faults,
-						Concurrent: true, CPUs: nc, Mode: md,
-					})
+				for _, pol := range policies {
+					for _, nc := range ncpus {
+						cfgs = append(cfgs, chaos.Config{
+							Workload: n, Steps: *steps, Faults: *faults,
+							Concurrent: true, CPUs: nc, Mode: md, OnActive: pol,
+						})
+					}
 				}
 			}
 		}
@@ -148,10 +165,14 @@ func main() {
 			res, err := chaos.Run(seed, cfg)
 			if err != nil {
 				if cfg.Concurrent {
-					fmt.Fprintf(os.Stderr, "mvstress: FAIL workload=%s mode=%s cpus=%d seed=%d quanta=%v: %v\n",
-						cfg.Workload, cfg.Mode, cfg.CPUs, seed, res.Quanta, err)
-					fmt.Fprintf(os.Stderr, "mvstress: reproduce with: mvstress -seeds 1 -seed-base %d -workload %s -concurrent -cpus %d -mode %s -steps %d -faults %d\n",
-						seed, cfg.Workload, cfg.CPUs, cfg.Mode, *steps, *faults)
+					pol := cfg.OnActive
+					if pol == "" {
+						pol = "defer"
+					}
+					fmt.Fprintf(os.Stderr, "mvstress: FAIL workload=%s mode=%s onactive=%s cpus=%d seed=%d quanta=%v: %v\n",
+						cfg.Workload, cfg.Mode, pol, cfg.CPUs, seed, res.Quanta, err)
+					fmt.Fprintf(os.Stderr, "mvstress: reproduce with: mvstress -seeds 1 -seed-base %d -workload %s -concurrent -cpus %d -mode %s -onactive %s -steps %d -faults %d\n",
+						seed, cfg.Workload, cfg.CPUs, cfg.Mode, pol, *steps, *faults)
 				} else {
 					fmt.Fprintf(os.Stderr, "mvstress: FAIL workload=%s smp=%v seed=%d: %v\n",
 						cfg.Workload, cfg.SMP, seed, err)
@@ -167,8 +188,9 @@ func main() {
 			fired += res.FaultsFired
 			if *verbose {
 				if cfg.Concurrent {
-					fmt.Printf("workload=%s mode=%s cpus=%d seed=%d quanta=%v ops=%d aborts=%d traps=%d deferred=%d faults=%d checks=%d\n",
-						cfg.Workload, cfg.Mode, cfg.CPUs, seed, res.Quanta, res.Ops, res.Aborts, res.Traps, res.Deferred, res.FaultsFired, res.Checks)
+					fmt.Printf("workload=%s mode=%s onactive=%s cpus=%d seed=%d quanta=%v ops=%d aborts=%d traps=%d deferred=%d osr=%d/%d/%d faults=%d checks=%d\n",
+						cfg.Workload, cfg.Mode, cfg.OnActive, cfg.CPUs, seed, res.Quanta, res.Ops, res.Aborts, res.Traps, res.Deferred,
+						res.OSRTransfers, res.OSRFallbacks, res.OSRRollbacks, res.FaultsFired, res.Checks)
 				} else {
 					fmt.Printf("workload=%s smp=%v seed=%d ops=%d aborts=%d retries=%d flush-fixes=%d faults=%d checks=%d\n",
 						cfg.Workload, cfg.SMP, seed, res.Ops, res.Aborts, res.Retries, res.FlushFixes, res.FaultsFired, res.Checks)

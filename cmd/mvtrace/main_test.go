@@ -146,6 +146,42 @@ func TestRenderTimeline(t *testing.T) {
 	}
 }
 
+// TestRenderTimelineOSRPhases pins the OSR span rendering: an
+// on-stack-replacement commit emits osr-herd (victims stepped to
+// mapped points) and osr-transfer (frame rewrite) phases inside the
+// rendezvous, and -timeline must render both with latencies.
+func TestRenderTimelineOSRPhases(t *testing.T) {
+	cycle := uint64(0)
+	rec := trace.NewRecorder(0)
+	rec.SetClock(func() uint64 { cycle += 25; return cycle })
+	rec.SetSpan(3)
+	rec.EmitName(trace.KindCommitBegin, 0x2000, 0, 0, "spin_lock")
+	rec.EmitName(trace.KindPhaseBegin, 0, 0, 0, "stop-machine")
+	rec.EmitName(trace.KindPhaseBegin, 0, 0, 0, "osr-herd")
+	rec.EmitName(trace.KindPhaseEnd, 0, 0, 0, "osr-herd")
+	rec.EmitName(trace.KindPhaseBegin, 0, 0, 0, "osr-transfer")
+	rec.EmitName(trace.KindPhaseEnd, 0, 0, 0, "osr-transfer")
+	rec.EmitName(trace.KindPhaseEnd, 0, 0, 0, "stop-machine")
+	rec.Emit(trace.KindCommitEnd, 0x2000, 1, 0)
+	d := rec.Dump("osr commit")
+
+	var sb strings.Builder
+	if err := render(&sb, &d, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"span 3 (commit ok)",
+		"phase osr-herd",
+		"phase osr-transfer",
+		"phase stop-machine",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRenderTimelineUnfinishedPhase(t *testing.T) {
 	cycle := uint64(0)
 	rec := trace.NewRecorder(0)

@@ -127,6 +127,11 @@ type Call struct {
 	exprBase
 	Fn   Expr
 	Args []Expr
+
+	// OSR is the variant-invariant logical label of this call's
+	// return point (0 = unlabeled). Assigned on the pristine decl
+	// before variant cloning so every clone keeps the same id.
+	OSR int
 }
 
 // Index is base[idx], equivalent to *(base + idx).
@@ -200,6 +205,11 @@ type While struct {
 	stmtBase
 	Cond Expr
 	Body Stmt
+
+	// OSR is the variant-invariant logical label of this loop's
+	// back-edge target (0 = unlabeled). Assigned on the pristine
+	// decl before variant cloning so every clone keeps the same id.
+	OSR int
 }
 
 // DoWhile is do body while (cond);.
@@ -207,6 +217,9 @@ type DoWhile struct {
 	stmtBase
 	Body Stmt
 	Cond Expr
+
+	// OSR labels the back-edge target; see While.OSR.
+	OSR int
 }
 
 // For is for (init; cond; post) body. Init may be a DeclStmt or
@@ -217,6 +230,9 @@ type For struct {
 	Cond Expr
 	Post Expr
 	Body Stmt
+
+	// OSR labels the back-edge target; see While.OSR.
+	OSR int
 }
 
 // Switch is switch (cond) { cases }. Consecutive case labels share a

@@ -494,7 +494,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &While{stmtBase{t.Pos}, cond, body}, nil
+		return &While{stmtBase{t.Pos}, cond, body, 0}, nil
 
 	case p.peekIs("do"):
 		p.next()
@@ -518,7 +518,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if _, err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &DoWhile{stmtBase{t.Pos}, body, cond}, nil
+		return &DoWhile{stmtBase{t.Pos}, body, cond, 0}, nil
 
 	case p.peekIs("for"):
 		p.next()
@@ -572,7 +572,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &For{stmtBase{t.Pos}, init, cond, post, body}, nil
+		return &For{stmtBase{t.Pos}, init, cond, post, body, 0}, nil
 
 	case p.peekIs("switch"):
 		return p.parseSwitch()
@@ -873,7 +873,7 @@ func (p *Parser) parsePostfix() (Expr, error) {
 			if vr, ok := x.(*VarRef); ok && builtinNames[vr.Name] {
 				x = &Builtin{exprBase{P: t.Pos}, vr.Name, args}
 			} else {
-				x = &Call{exprBase{P: t.Pos}, x, args}
+				x = &Call{exprBase{P: t.Pos}, x, args, 0}
 			}
 		case p.peekIs("["):
 			p.next()

@@ -60,6 +60,12 @@ type Config struct {
 	// Mode selects the concurrent commit mode: "stop" (stop-machine
 	// rendezvous) or "poke" (BRK text-poke protocol). Default "stop".
 	Mode string `json:",omitempty"`
+	// OnActive selects the concurrent activeness policy: "defer"
+	// (queue operations against active functions for DrainDeferred) or
+	// "osr" (transfer live frames to the target body inside the commit,
+	// falling back to defer only when no mapping exists). Default
+	// "defer".
+	OnActive string `json:",omitempty"`
 	// Quanta pins the per-CPU interleave quanta in concurrent mode;
 	// when empty they derive from the seed. Result records the
 	// effective value so failing-seed artifacts capture the schedule.
@@ -83,6 +89,11 @@ type Result struct {
 	Quanta      []int  `json:",omitempty"` // effective per-CPU interleave quanta (concurrent mode)
 	Traps       uint64 // BRK traps taken by workload CPUs inside poke windows
 	Deferred    int    // rebindings deferred by the activeness check
+
+	// On-stack replacement counters (OnActive "osr").
+	OSRTransfers int `json:",omitempty"` // live frames transferred into new bodies
+	OSRFallbacks int `json:",omitempty"` // OSR commits that fell back to deferral
+	OSRRollbacks int `json:",omitempty"` // frame transfers undone by aborts
 
 	// FlightDump is the flight recorder's view of the failure: the last
 	// commit-lifecycle and fault events before the violated invariant.

@@ -48,6 +48,14 @@ func runConcurrent(seed int64, cfg Config) (res Result, err error) {
 	default:
 		return res, fmt.Errorf("chaos: unknown concurrent mode %q (want stop or poke)", cfg.Mode)
 	}
+	onActive := core.ActiveDefer
+	switch cfg.OnActive {
+	case "", "defer":
+	case "osr":
+		onActive = core.ActiveOSR
+	default:
+		return res, fmt.Errorf("chaos: unknown onactive policy %q (want defer or osr)", cfg.OnActive)
+	}
 
 	w, err := buildWorkload(cfg.Workload)
 	if err != nil {
@@ -95,7 +103,7 @@ func runConcurrent(seed int64, cfg Config) (res Result, err error) {
 	}
 	res.Quanta = quanta
 
-	rt.SetCommitOptions(core.CommitOptions{Mode: mode, OnActive: core.ActiveDefer})
+	rt.SetCommitOptions(core.CommitOptions{Mode: mode, OnActive: onActive})
 
 	// pokeOpen tracks whether a BRK window is currently planted; a trap
 	// observed while it is false is a torn or residual BRK — the
@@ -177,6 +185,9 @@ func runConcurrent(seed int64, cfg Config) (res Result, err error) {
 		res.FlushFixes = rt.Stats.FlushRetries
 		res.FaultsFired = plan.Stats.Total()
 		res.Deferred = rt.Stats.DeferredPatches
+		res.OSRTransfers = rt.Stats.OSRTransfers
+		res.OSRFallbacks = rt.Stats.OSRFallbacks
+		res.OSRRollbacks = rt.Stats.OSRRollbacks
 	}()
 
 	// drainDeferred retries DrainDeferred across injected aborts; the
@@ -372,5 +383,13 @@ func runConcurrent(seed int64, cfg Config) (res Result, err error) {
 		return res, fmt.Errorf("seed %d: final semantic check: %w", seed, err)
 	}
 	res.Checks++
+	if onActive == core.ActiveOSR {
+		// Under OSR every deferral must be an accounted fallback (no
+		// mapped point / frameless body / scratch live) — an eligible
+		// commit that still deferred means the transfer path was skipped.
+		if d, f := rt.Stats.DeferredPatches, rt.Stats.OSRFallbacks; d != f {
+			return res, fmt.Errorf("seed %d: %d deferrals but only %d OSR fallbacks — an OSR-eligible commit was deferred", seed, d, f)
+		}
+	}
 	return res, nil
 }

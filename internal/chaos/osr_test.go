@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sweepOSR runs the concurrent sweep with the on-stack-replacement
+// policy and requires the transfer path to actually fire somewhere in
+// the sweep: a policy that silently degrades to deferral would pass
+// every per-seed property while testing nothing new. Per-seed, the run
+// itself enforces that every deferral is an accounted OSR fallback.
+func sweepOSR(t *testing.T, cfg Config) {
+	t.Helper()
+	cfg.Concurrent = true
+	cfg.OnActive = "osr"
+	n := concurrentSeeds(t)
+	var fired uint64
+	var transfers, fallbacks, rollbacks, deferred int
+	for seed := int64(1); seed <= n; seed++ {
+		res, err := Run(seed, cfg)
+		if err != nil {
+			t.Fatalf("concurrent OSR chaos run failed: %v", err)
+		}
+		fired += res.FaultsFired
+		transfers += res.OSRTransfers
+		fallbacks += res.OSRFallbacks
+		rollbacks += res.OSRRollbacks
+		deferred += res.Deferred
+	}
+	if fired == 0 {
+		t.Fatalf("no fault points fired across %d seeds — injector not exercised", n)
+	}
+	if transfers == 0 {
+		t.Fatalf("no live frames transferred across %d seeds — OSR path never fired", n)
+	}
+	t.Logf("%d seeds: %d faults fired, %d transfers, %d fallbacks, %d rollbacks, %d deferred",
+		n, fired, transfers, fallbacks, rollbacks, deferred)
+}
+
+func TestConcurrentOSRE1Stop1CPU(t *testing.T) {
+	sweepOSR(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 1, Mode: "stop"})
+}
+
+func TestConcurrentOSRE1Stop2CPU(t *testing.T) {
+	sweepOSR(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 2, Mode: "stop"})
+}
+
+func TestConcurrentOSRE1Poke1CPU(t *testing.T) {
+	sweepOSR(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 1, Mode: "poke"})
+}
+
+func TestConcurrentOSRE1Poke2CPU(t *testing.T) {
+	sweepOSR(t, Config{Workload: "e1", Steps: 25, Faults: 6, CPUs: 2, Mode: "poke"})
+}
+
+func TestConcurrentOSRE4Stop2CPU(t *testing.T) {
+	sweepOSR(t, Config{Workload: "e4", Steps: 25, Faults: 6, CPUs: 2, Mode: "stop"})
+}
+
+func TestConcurrentOSRE4Poke2CPU(t *testing.T) {
+	sweepOSR(t, Config{Workload: "e4", Steps: 25, Faults: 6, CPUs: 2, Mode: "poke"})
+}
+
+// TestConcurrentOSRDeterministic: same seed, same config — the OSR
+// herd/locate/transfer sequence is fully deterministic, so the Result
+// (including the new transfer counters) must be bit-identical.
+func TestConcurrentOSRDeterministic(t *testing.T) {
+	cfg := Config{Workload: "e1", Steps: 20, Faults: 5, Concurrent: true, CPUs: 2, Mode: "poke", OnActive: "osr"}
+	a, err := Run(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConcurrentRejectsUnknownOnActive(t *testing.T) {
+	if _, err := Run(1, Config{Workload: "e1", Concurrent: true, OnActive: "yolo"}); err == nil {
+		t.Fatal("unknown onactive policy accepted")
+	}
+}

@@ -128,6 +128,21 @@ func (fe *fnEmitter) call(x *cc.Call) (int, error) {
 		fe.asm().CallR(fnReg)
 	}
 
+	// The instruction boundary after the call is an OSR point: a frame
+	// waiting here can have its return address retargeted to the
+	// equivalent point in another variant. Pack the pushed-register
+	// mask (low 16 bits) and the live-across-call mask (high 16 bits);
+	// the runtime only transfers waiting frames when both are empty in
+	// both variants, so no old-variant temps survive the transfer.
+	var osrMask uint32
+	for _, r := range pushed {
+		osrMask |= 1 << uint(r)
+	}
+	for _, r := range saved {
+		osrMask |= 1 << (16 + uint(r))
+	}
+	fe.noteOSRPoint(x.OSR, OSRPointCall, osrMask)
+
 	// All argument (and fn) registers die at the call.
 	fe.vstack = fe.vstack[:0]
 	if !noScratch {

@@ -168,6 +168,7 @@ type emitter struct {
 	strSyms  map[string]string     // string literal -> rodata symbol
 
 	callSites []callSiteRec
+	osrFuncs  []*osrFuncRec
 	strCount  int
 }
 
@@ -261,6 +262,9 @@ func (e *emitter) emitFunc(f *Func) error {
 	fe := &fnEmitter{e: e, f: f.Decl, symName: f.SymName}
 	if err := fe.emit(); err != nil {
 		return fmt.Errorf("%s: %w", f.SymName, err)
+	}
+	if f.Decl.Multiverse {
+		e.osrFuncs = append(e.osrFuncs, fe.osrRecord())
 	}
 
 	for uint64(e.text.Len())-start < uint64(f.PadTo) {

@@ -26,6 +26,33 @@ const (
 	VarFlagFnPtr  = 1 << 1 // the switch is a tracked function pointer
 )
 
+// OSR record sizes and flag bits (multiverse.osr section). Each
+// multiversed body (generic + every variant) contributes:
+//
+//	header  (OSRFuncHeaderSize):
+//	  [0:8)   reloc → function symbol
+//	  [8:12)  frame size (bytes)
+//	  [12:16) flags (OSRFlagHasFrame | OSRFlagNoScratch)
+//	  [16:20) slot count
+//	  [20:24) point count
+//	slot rec (OSRSlotRecSize), slot-count times:
+//	  [0:8)   reloc → interned "Name#Seq" string
+//	  [8:12)  FP-relative displacement (int32)
+//	  [12:16) reserved
+//	point rec (OSRPointRecSize), point-count times:
+//	  [0:4)   logical label id
+//	  [4:8)   kind (OSRPointLoop | OSRPointCall)
+//	  [8:12)  text offset from function start
+//	  [12:16) register mask (pushed | live<<16; call points only)
+const (
+	OSRFuncHeaderSize = 24
+	OSRSlotRecSize    = 16
+	OSRPointRecSize   = 16
+
+	OSRFlagHasFrame  = 1 << 0
+	OSRFlagNoScratch = 1 << 1
+)
+
 // DescriptorBytes returns the total descriptor footprint of a program
 // with the given shape, per the paper's formula.
 func DescriptorBytes(vars, callsites int, variantsPerFunc [][]int) int {
@@ -123,6 +150,45 @@ func (e *emitter) emitDescriptors() error {
 					putU32(grec, 12, uint32(int32(g.Hi)))
 					sec.Data = append(sec.Data, grec...)
 				}
+			}
+		}
+	}
+
+	// multiverse.osr — per-body OSR metadata for multiversed functions.
+	if len(e.osrFuncs) > 0 {
+		sec := e.o.Section(obj.SecMVOSR)
+		for _, fr := range e.osrFuncs {
+			base := uint64(len(sec.Data))
+			hdr := make([]byte, OSRFuncHeaderSize)
+			e.o.AddReloc(obj.Reloc{Section: obj.SecMVOSR, Offset: base + 0,
+				Type: obj.RelocAbs64, Symbol: fr.symName})
+			putU32(hdr, 8, uint32(fr.frameSize))
+			var flags uint32
+			if fr.hasFrame {
+				flags |= OSRFlagHasFrame
+			}
+			if fr.noScratch {
+				flags |= OSRFlagNoScratch
+			}
+			putU32(hdr, 12, flags)
+			putU32(hdr, 16, uint32(len(fr.slots)))
+			putU32(hdr, 20, uint32(len(fr.points)))
+			sec.Data = append(sec.Data, hdr...)
+			for _, sl := range fr.slots {
+				sbase := uint64(len(sec.Data))
+				rec := make([]byte, OSRSlotRecSize)
+				e.o.AddReloc(obj.Reloc{Section: obj.SecMVOSR, Offset: sbase + 0,
+					Type: obj.RelocAbs64, Symbol: e.mvStrSym(sl.key)})
+				putU32(rec, 8, uint32(sl.off))
+				sec.Data = append(sec.Data, rec...)
+			}
+			for _, pt := range fr.points {
+				rec := make([]byte, OSRPointRecSize)
+				putU32(rec, 0, uint32(pt.label))
+				putU32(rec, 4, uint32(pt.kind))
+				putU32(rec, 8, pt.off)
+				putU32(rec, 12, pt.pushedMask)
+				sec.Data = append(sec.Data, rec...)
 			}
 		}
 	}

@@ -25,6 +25,9 @@ type fnEmitter struct {
 	breakLbl []int   // loop nesting: break targets
 	contLbl  []int   // loop nesting: continue targets
 	epilogue int     // label id of the common exit
+
+	funcStart int        // text offset of the function entry
+	osrPoints []osrPoint // recorded OSR points (multiverse funcs)
 }
 
 type fixup struct {
@@ -178,6 +181,7 @@ func (fe *fnEmitter) emit() error {
 	fe.epilogue = fe.newLabel()
 	a := fe.asm()
 	funcStart := a.Len()
+	fe.funcStart = funcStart
 
 	// Frame-pointer omission: a function without parameters or locals
 	// never addresses its frame, so the FP dance disappears and an
@@ -313,6 +317,7 @@ func (fe *fnEmitter) stmt(s cc.Stmt) error {
 		top := fe.newLabel()
 		end := fe.newLabel()
 		fe.place(top)
+		fe.noteOSRPoint(s.OSR, OSRPointLoop, 0)
 		if err := fe.cond(s.Cond, false, end); err != nil {
 			return err
 		}
@@ -333,6 +338,7 @@ func (fe *fnEmitter) stmt(s cc.Stmt) error {
 		cont := fe.newLabel()
 		end := fe.newLabel()
 		fe.place(top)
+		fe.noteOSRPoint(s.OSR, OSRPointLoop, 0)
 		fe.breakLbl = append(fe.breakLbl, end)
 		fe.contLbl = append(fe.contLbl, cont)
 		err := fe.stmt(s.Body)
@@ -358,6 +364,7 @@ func (fe *fnEmitter) stmt(s cc.Stmt) error {
 		cont := fe.newLabel()
 		end := fe.newLabel()
 		fe.place(top)
+		fe.noteOSRPoint(s.OSR, OSRPointLoop, 0)
 		if s.Cond != nil {
 			if err := fe.cond(s.Cond, false, end); err != nil {
 				return err

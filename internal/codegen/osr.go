@@ -1,0 +1,106 @@
+package codegen
+
+import "repro/internal/cc"
+
+// OSR-point metadata (paper-adjacent; see DESIGN.md §13). For every
+// multiversed function body — the generic and each variant — the
+// emitter records, per function:
+//
+//   - the frame shape (frameSize, hasFrame, NoScratch),
+//   - every named local/param slot keyed by "Name#Seq" (stable across
+//     variants: the cloner preserves Seq), and
+//   - every OSR point: a loop back-edge target or a call-return
+//     address, tagged with the variant-invariant logical label stamped
+//     by mvir.AssignOSRLabels before cloning.
+//
+// The runtime matches points between a committed body and its target
+// by (label, kind) and rewrites a paused CPU's frame accordingly.
+
+// OSR point kinds.
+const (
+	OSRPointLoop = 0 // loop back-edge target (top of cond re-check)
+	OSRPointCall = 1 // return address of a call instruction
+)
+
+// osrPoint is one recorded OSR point inside a function body.
+type osrPoint struct {
+	label      int    // logical id from mvir.AssignOSRLabels (≥1)
+	kind       int    // OSRPointLoop or OSRPointCall
+	off        uint32 // text offset relative to function start
+	pushedMask uint32 // scratch registers pushed across a call (call kind)
+}
+
+// osrSlot is one FP-relative local/parameter slot.
+type osrSlot struct {
+	key string // "Name#Seq"
+	off int32  // FP-relative displacement (negative)
+}
+
+// osrFuncRec is the per-function OSR record destined for the
+// multiverse.osr section.
+type osrFuncRec struct {
+	symName   string
+	frameSize int32
+	hasFrame  bool
+	noScratch bool
+	slots     []osrSlot
+	points    []osrPoint
+}
+
+// noteOSRPoint records an OSR point at the current emission offset.
+// Unlabeled nodes (label 0, i.e. non-multiversed functions) are
+// skipped.
+func (fe *fnEmitter) noteOSRPoint(label, kind int, pushedMask uint32) {
+	if label == 0 || !fe.f.Multiverse {
+		return
+	}
+	fe.osrPoints = append(fe.osrPoints, osrPoint{
+		label:      label,
+		kind:       kind,
+		off:        uint32(fe.asm().Len() - fe.funcStart),
+		pushedMask: pushedMask,
+	})
+}
+
+// osrRecord assembles the function's OSR record after emission.
+func (fe *fnEmitter) osrRecord() *osrFuncRec {
+	rec := &osrFuncRec{
+		symName:   fe.symName,
+		frameSize: fe.frameSize,
+		hasFrame:  fe.frameSize > 0,
+		noScratch: fe.f.NoScratch,
+		points:    fe.osrPoints,
+	}
+	for sym, off := range fe.slots {
+		rec.slots = append(rec.slots, osrSlot{key: slotKey(sym), off: off})
+	}
+	// Deterministic order: by displacement (unique per slot).
+	for i := 1; i < len(rec.slots); i++ {
+		for j := i; j > 0 && rec.slots[j].off > rec.slots[j-1].off; j-- {
+			rec.slots[j], rec.slots[j-1] = rec.slots[j-1], rec.slots[j]
+		}
+	}
+	return rec
+}
+
+// slotKey names a local/param slot stably across variant clones.
+func slotKey(s *cc.VarSym) string {
+	if s.Seq == 0 {
+		return s.Name
+	}
+	return s.Name + "#" + itoa(s.Seq)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

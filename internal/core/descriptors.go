@@ -45,11 +45,51 @@ type CallSiteDesc struct {
 	Callee uint64 // generic function or switch-variable address
 }
 
+// OSRPointDesc is one decoded OSR point inside a function body.
+type OSRPointDesc struct {
+	Label  int    // variant-invariant logical id (≥1)
+	Kind   int    // codegen.OSRPointLoop or codegen.OSRPointCall
+	Off    uint32 // text offset from function start
+	RegMsk uint32 // pushed | live<<16 register mask (call points)
+}
+
+// OSRFuncDesc is the decoded OSR metadata of one function body
+// (generic or variant), keyed by its start address.
+type OSRFuncDesc struct {
+	Addr      uint64
+	FrameSize int32
+	HasFrame  bool
+	NoScratch bool
+	Slots     map[string]int32 // "Name#Seq" -> FP-relative displacement
+	Points    []OSRPointDesc
+}
+
+// Point returns the OSR point with the given label and kind, or nil.
+func (fd *OSRFuncDesc) Point(label, kind int) *OSRPointDesc {
+	for i := range fd.Points {
+		if fd.Points[i].Label == label && fd.Points[i].Kind == kind {
+			return &fd.Points[i]
+		}
+	}
+	return nil
+}
+
+// PointAt returns the OSR point at the given text offset, or nil.
+func (fd *OSRFuncDesc) PointAt(off uint32) *OSRPointDesc {
+	for i := range fd.Points {
+		if fd.Points[i].Off == off {
+			return &fd.Points[i]
+		}
+	}
+	return nil
+}
+
 // Descriptors holds every decoded multiverse record of an image.
 type Descriptors struct {
 	Vars  []VarDesc
 	Funcs []FuncDesc
 	Sites []CallSiteDesc
+	OSR   map[uint64]*OSRFuncDesc // body start address -> OSR metadata
 }
 
 // readCString reads a NUL-terminated string.
@@ -157,6 +197,55 @@ func DecodeDescriptors(img *link.Image, p Platform) (*Descriptors, error) {
 			fd.Variants = append(fd.Variants, v)
 		}
 		d.Funcs = append(d.Funcs, fd)
+	}
+
+	osr, err := read(obj.SecMVOSR)
+	if err != nil {
+		return nil, err
+	}
+	d.OSR = make(map[uint64]*OSRFuncDesc)
+	for off := 0; off < len(osr); {
+		if off+codegen.OSRFuncHeaderSize > len(osr) {
+			return nil, fmt.Errorf("core: truncated OSR header at %d", off)
+		}
+		rec := osr[off:]
+		flags := u32(rec[12:])
+		fd := &OSRFuncDesc{
+			Addr:      u64(rec[0:]),
+			FrameSize: int32(u32(rec[8:])),
+			HasFrame:  flags&codegen.OSRFlagHasFrame != 0,
+			NoScratch: flags&codegen.OSRFlagNoScratch != 0,
+			Slots:     make(map[string]int32),
+		}
+		nslots := int(u32(rec[16:]))
+		npoints := int(u32(rec[20:]))
+		off += codegen.OSRFuncHeaderSize
+		for i := 0; i < nslots; i++ {
+			if off+codegen.OSRSlotRecSize > len(osr) {
+				return nil, fmt.Errorf("core: truncated OSR slot record at %d", off)
+			}
+			srec := osr[off:]
+			key, err := readCString(p, u64(srec[0:]))
+			if err != nil {
+				return nil, err
+			}
+			fd.Slots[key] = int32(u32(srec[8:]))
+			off += codegen.OSRSlotRecSize
+		}
+		for i := 0; i < npoints; i++ {
+			if off+codegen.OSRPointRecSize > len(osr) {
+				return nil, fmt.Errorf("core: truncated OSR point record at %d", off)
+			}
+			prec := osr[off:]
+			fd.Points = append(fd.Points, OSRPointDesc{
+				Label:  int(u32(prec[0:])),
+				Kind:   int(u32(prec[4:])),
+				Off:    u32(prec[8:]),
+				RegMsk: u32(prec[12:]),
+			})
+			off += codegen.OSRPointRecSize
+		}
+		d.OSR[fd.Addr] = fd
 	}
 
 	sites, err := read(obj.SecMVCallSites)

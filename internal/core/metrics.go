@@ -72,6 +72,7 @@ type MVMetrics struct {
 	commitLatency *metrics.Histogram
 	commitSites   *metrics.Histogram
 	rendezvous    *metrics.Histogram
+	osrLatency    *metrics.Histogram
 
 	res *residencyTracker
 }
@@ -236,6 +237,12 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 			rstat(func(s RuntimeStats) uint64 { return uint64(s.DeferredDrained) })},
 		{"mv_active_refusals_total", "Operations refused because the function was active.",
 			rstat(func(s RuntimeStats) uint64 { return uint64(s.ActiveRefusals) })},
+		{"mv_osr_transfers_total", "Live frames transferred into a new body by on-stack replacement.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.OSRTransfers) })},
+		{"mv_osr_fallbacks_total", "ActiveOSR operations that fell back to the deferred queue.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.OSRFallbacks) })},
+		{"mv_osr_rollbacks_total", "OSR frame transfers undone by transaction rollback.",
+			rstat(func(s RuntimeStats) uint64 { return uint64(s.OSRRollbacks) })},
 	} {
 		reg.CounterFunc(c.name, c.help, c.read)
 	}
@@ -249,6 +256,8 @@ func AttachMetrics(reg *metrics.Registry, m *machine.Machine, rt *Runtime) *MVMe
 			"Sites touched (patched, inlined or reverted) per commit span."),
 		rendezvous: reg.Histogram("mv_rendezvous_latency_cycles",
 			"Cycles spent herding CPUs to safe points per stop-machine rendezvous."),
+		osrLatency: reg.Histogram("mv_osr_transfer_latency_cycles",
+			"Cycles spent herding victims to mapped OSR points per frame-transfer operation."),
 	}
 	mm.res = newResidencyTracker(reg, mm.clock)
 	// Every function starts on its generic implementation.
@@ -304,6 +313,15 @@ func (mm *MVMetrics) observeRendezvous(latency uint64) {
 		return
 	}
 	mm.rendezvous.Observe(latency)
+}
+
+// observeOSR records the victim-herding latency of one on-stack
+// replacement operation. Nil-receiver safe.
+func (mm *MVMetrics) observeOSR(latency uint64) {
+	if mm == nil {
+		return
+	}
+	mm.osrLatency.Observe(latency)
 }
 
 // noteBinding records a function switching to a new variant (nil for

@@ -149,8 +149,13 @@ func (p *UserPlatform) AdvanceCycles(n uint64) { p.M.CPU.AddCycles(n) }
 func (p *UserPlatform) ICacheStale(addr, n uint64) bool { return p.M.ICacheStale(addr, n) }
 
 // LiveCodeAddrs implements Activeness: every PC plus the conservative
-// stack return-address scan of each non-halted hardware thread.
-func (p *UserPlatform) LiveCodeAddrs() []uint64 { return p.M.LiveCodeAddrs() }
+// stack return-address scan of each non-halted hardware thread. The
+// bool is false when a truncated stack scan made the list incomplete.
+func (p *UserPlatform) LiveCodeAddrs() ([]uint64, bool) { return p.M.LiveCodeAddrs() }
+
+// OSRCPUs implements FrameAccessor: the paused CPUs whose frames an
+// on-stack replacement may rewrite.
+func (p *UserPlatform) OSRCPUs() []machine.OSRCPU { return p.M.OSRCPUs() }
 
 // StopMachine implements Stopper.
 func (p *UserPlatform) StopMachine(avoid []machine.Range, fn func() error) (uint64, error) {
@@ -214,7 +219,10 @@ func (p *KernelPlatform) AdvanceCycles(n uint64) { p.M.CPU.AddCycles(n) }
 func (p *KernelPlatform) ICacheStale(addr, n uint64) bool { return p.M.ICacheStale(addr, n) }
 
 // LiveCodeAddrs implements Activeness.
-func (p *KernelPlatform) LiveCodeAddrs() []uint64 { return p.M.LiveCodeAddrs() }
+func (p *KernelPlatform) LiveCodeAddrs() ([]uint64, bool) { return p.M.LiveCodeAddrs() }
+
+// OSRCPUs implements FrameAccessor.
+func (p *KernelPlatform) OSRCPUs() []machine.OSRCPU { return p.M.OSRCPUs() }
 
 // StopMachine implements Stopper.
 func (p *KernelPlatform) StopMachine(avoid []machine.Range, fn func() error) (uint64, error) {

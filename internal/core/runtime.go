@@ -99,6 +99,11 @@ type RuntimeStats struct {
 	DeferredPatches int // operations queued because the function was active
 	DeferredDrained int // queued operations applied by DrainDeferred
 	ActiveRefusals  int // operations refused with ErrFunctionActive
+
+	// On-stack replacement counters (osr.go). Zero unless ActiveOSR.
+	OSRTransfers int // live frames transferred into a new body
+	OSRFallbacks int // ActiveOSR operations that fell back to the deferred queue
+	OSRRollbacks int // frame transfers undone (or torn down) by rollback
 }
 
 type siteState struct {
@@ -496,26 +501,40 @@ func (rt *Runtime) commitFunc(fs *funcState) (bindStatus, error) {
 	}
 	if v == nil {
 		rt.Stats.GenericSignals++
+		var plan *osrPlan
 		if fs.committed != nil {
 			// Falling back to generic tears down live patches, which is
-			// only safe when the committed variant is not executing.
-			if deferred, err := rt.checkActive(fs, pendingCommit); err != nil {
+			// only safe when the committed variant is not executing —
+			// or when its frames can be transferred to the generic.
+			deferred, pl, err := rt.checkActive(fs, pendingCommit, nil)
+			if err != nil {
 				return bindGeneric, err
-			} else if deferred {
+			}
+			if deferred {
 				return bindDeferred, nil
 			}
+			plan = pl
 		}
 		if err := rt.revertFunc(fs); err != nil {
 			return bindGeneric, err
 		}
+		if plan != nil {
+			if err := rt.osrApply(plan); err != nil {
+				return bindGeneric, err
+			}
+		}
 		return bindGeneric, nil
 	}
 	if fs.committed == v {
+		// Already bound right; a queued deferred operation is stale.
+		rt.purgeDeferred(fs)
 		return bindBound, nil
 	}
-	if deferred, err := rt.checkActive(fs, pendingCommit); err != nil {
+	deferred, plan, err := rt.checkActive(fs, pendingCommit, v)
+	if err != nil {
 		return bindGeneric, err
-	} else if deferred {
+	}
+	if deferred {
 		return bindDeferred, nil
 	}
 	prev := fs.committed
@@ -533,8 +552,16 @@ func (rt *Runtime) commitFunc(fs *funcState) (bindStatus, error) {
 	if err := rt.patchPrologue(fs, v); err != nil {
 		return bindGeneric, err
 	}
+	if plan != nil {
+		// The text now routes into v; move the live frames over too,
+		// inside the same transaction.
+		if err := rt.osrApply(plan); err != nil {
+			return bindGeneric, err
+		}
+	}
 	rt.noteUndo(func() { fs.committed = prev })
 	fs.committed = v
+	rt.purgeDeferred(fs)
 	return bindBound, nil
 }
 
@@ -542,14 +569,26 @@ func (rt *Runtime) commitFunc(fs *funcState) (bindStatus, error) {
 // function whose committed variant is still executing (or awaiting
 // return) cannot have its binding torn down underneath it.
 func (rt *Runtime) revertFuncChecked(fs *funcState) (bindStatus, error) {
+	var plan *osrPlan
 	if fs.committed != nil {
-		if deferred, err := rt.checkActive(fs, pendingRevert); err != nil {
+		deferred, pl, err := rt.checkActive(fs, pendingRevert, nil)
+		if err != nil {
 			return bindGeneric, err
-		} else if deferred {
+		}
+		if deferred {
 			return bindDeferred, nil
 		}
+		plan = pl
 	}
-	return bindGeneric, rt.revertFunc(fs)
+	if err := rt.revertFunc(fs); err != nil {
+		return bindGeneric, err
+	}
+	if plan != nil {
+		if err := rt.osrApply(plan); err != nil {
+			return bindGeneric, err
+		}
+	}
+	return bindGeneric, nil
 }
 
 func (rt *Runtime) revertFunc(fs *funcState) error {
@@ -566,6 +605,7 @@ func (rt *Runtime) revertFunc(fs *funcState) error {
 	}
 	rt.noteUndo(func() { fs.committed = prev })
 	fs.committed = nil
+	rt.purgeDeferred(fs)
 	return nil
 }
 

@@ -68,7 +68,27 @@ const (
 	// ActiveDefer queues the operation; DrainDeferred applies it at the
 	// next quiescent point.
 	ActiveDefer
+	// ActiveOSR performs on-stack replacement: inside the commit
+	// rendezvous, every live frame of the old body is transferred to
+	// the equivalent OSR point of the target body (PC, SP, spilled
+	// slots, return addresses — all through the undo journal). When no
+	// mapped point exists the operation falls back to ActiveDefer and
+	// is counted in Stats.OSRFallbacks.
+	ActiveOSR
 )
+
+// String names the policy (flag values of mvstress -onactive).
+func (p OnActivePolicy) String() string {
+	switch p {
+	case ActiveRefuse:
+		return "refuse"
+	case ActiveDefer:
+		return "defer"
+	case ActiveOSR:
+		return "osr"
+	}
+	return fmt.Sprintf("onactive%d", int(p))
+}
 
 // CommitOptions configures the concurrency behavior of every
 // subsequent commit/revert operation.
@@ -89,8 +109,18 @@ var ErrFunctionActive = errors.New("core: function is active on a CPU stack")
 // Activeness is implemented by platforms that can enumerate the code
 // addresses currently live on any CPU (PCs plus conservative stack
 // return-address scans). Without it the activeness check is skipped.
+// The bool result reports completeness: false means a stack scan was
+// truncated and the list cannot prove anything inactive — consumers
+// must treat every function as potentially active.
 type Activeness interface {
-	LiveCodeAddrs() []uint64
+	LiveCodeAddrs() ([]uint64, bool)
+}
+
+// FrameAccessor is implemented by platforms that expose the paused
+// CPUs and their stack geometry, enabling on-stack replacement.
+// Without it ActiveOSR always falls back to defer.
+type FrameAccessor interface {
+	OSRCPUs() []machine.OSRCPU
 }
 
 // Stopper is implemented by platforms that can run a stop-machine
@@ -215,7 +245,12 @@ func (rt *Runtime) pokeGuard(addr uint64, old, data []byte) error {
 	}
 	oldB := instBoundaries(addr, old)
 	newB := instBoundaries(addr, data)
-	for _, a := range la.LiveCodeAddrs() {
+	live, complete := la.LiveCodeAddrs()
+	if !complete {
+		return fmt.Errorf("core: stack scan truncated; cannot prove poke window [%#x,%#x) free of live addresses",
+			addr, addr+n)
+	}
+	for _, a := range live {
 		if a > addr && a < addr+n && !(oldB[a] && newB[a]) {
 			return fmt.Errorf("core: live code address %#x inside poke window [%#x,%#x) is not a common instruction boundary",
 				a, addr, addr+n)
@@ -295,7 +330,14 @@ func (rt *Runtime) isActive(fs *funcState) bool {
 	if hi == lo {
 		return false
 	}
-	for _, a := range la.LiveCodeAddrs() {
+	live, complete := la.LiveCodeAddrs()
+	if !complete {
+		// A truncated scan proves nothing inactive: conservatively
+		// treat the function as live rather than patch under a frame
+		// the bound hid.
+		return true
+	}
+	for _, a := range live {
 		if a >= lo && a < hi {
 			return true
 		}
@@ -413,17 +455,68 @@ func (rt *Runtime) DrainDeferred() (int, error) {
 }
 
 // checkActive runs the activeness policy for one function about to be
-// rebound or reverted. It returns (true, nil) when the operation was
-// deferred, (false, err) when refused, and (false, nil) when the
-// operation may proceed.
-func (rt *Runtime) checkActive(fs *funcState, k pendingKind) (bool, error) {
+// rebound or reverted. target is the variant being committed (nil for
+// a revert to generic). It returns (true, nil, nil) when the operation
+// was deferred, a non-nil error when refused, and (false, plan, nil)
+// when the operation may proceed — with a frame-transfer plan attached
+// when ActiveOSR validated one (the caller applies it after patching,
+// inside the same transaction).
+func (rt *Runtime) checkActive(fs *funcState, k pendingKind, target *VariantDesc) (bool, *osrPlan, error) {
 	if !rt.isActive(fs) {
-		return false, nil
+		return false, nil, nil
 	}
-	if rt.Options.OnActive == ActiveDefer {
+	switch rt.Options.OnActive {
+	case ActiveDefer:
 		rt.deferOp(fs, k)
-		return true, nil
+		return true, nil, nil
+	case ActiveOSR:
+		plan, err := rt.osrPrepare(fs, target)
+		if err == nil {
+			return false, plan, nil
+		}
+		// No safe frame mapping: the documented ActiveOSR contract is
+		// to fall back to the deferred queue, never to abort here (no
+		// byte has been patched yet).
+		rt.Stats.OSRFallbacks++
+		rt.deferOp(fs, k)
+		return true, nil, nil
 	}
 	rt.Stats.ActiveRefusals++
-	return false, fmt.Errorf("core: %q: %w", fs.fd.Name, ErrFunctionActive)
+	return false, nil, fmt.Errorf("core: %q: %w", fs.fd.Name, ErrFunctionActive)
+}
+
+// purgeDeferred drops any queued deferred operation for fs. A commit
+// or revert that lands (directly or via on-stack replacement) makes an
+// older queued operation stale — leaving it queued would let a later
+// DrainDeferred re-apply an outdated rebinding on top of the newer
+// one. The queue mutation is undo-registered like deferOp's, so an
+// aborted transaction restores the queue exactly.
+func (rt *Runtime) purgeDeferred(fs *funcState) {
+	k, had := rt.deferredKind[fs]
+	if !had {
+		return
+	}
+	idx := -1
+	for i, q := range rt.deferredOrder {
+		if q == fs {
+			idx = i
+			break
+		}
+	}
+	rt.noteUndo(func() {
+		rt.deferredKind[fs] = k
+		if idx < 0 || idx > len(rt.deferredOrder) {
+			rt.deferredOrder = append(rt.deferredOrder, fs)
+			return
+		}
+		rt.deferredOrder = append(rt.deferredOrder[:idx],
+			append([]*funcState{fs}, rt.deferredOrder[idx:]...)...)
+	})
+	delete(rt.deferredKind, fs)
+	if idx >= 0 {
+		rt.deferredOrder = append(rt.deferredOrder[:idx], rt.deferredOrder[idx+1:]...)
+	}
+	if rt.Tracer != nil {
+		rt.Tracer.EmitName(trace.KindDeferred, fs.fd.Generic, 0, uint64(len(rt.deferredOrder)), fs.fd.Name)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/isa"
+	"repro/internal/trace"
 )
 
 // stepInto steps the system's primary CPU (after StartCall) until the
@@ -252,6 +253,130 @@ func TestAuditRejectsResidualBRK(t *testing.T) {
 	err := sys.RT.Audit()
 	if err == nil || !strings.Contains(err.Error(), "residual BRK") {
 		t.Fatalf("audit of BRK-poisoned site: %v, want residual BRK error", err)
+	}
+}
+
+// osrLoopSrc is a workload whose multiversed function has a real
+// frame (parameter + induction variable) and a loop OSR point present
+// in every variant, so an ActiveOSR commit against a CPU parked in
+// its body succeeds by live frame transfer rather than falling back.
+const osrLoopSrc = `
+	multiverse int S;
+	long ticks;
+	multiverse void spin(ulong n) {
+		for (ulong i = 0; i < n; i++) {
+			if (S) { ticks = ticks + 2; }
+			else { ticks = ticks + 1; }
+		}
+	}
+	void drive(void) { spin(300); }
+	long get_ticks(void) { return ticks; }
+`
+
+// TestOSRCommitPurgesDeferredQueue: a function queued by an
+// ActiveDefer commit and then successfully OSR-committed must be
+// purged from the deferred queue — DrainDeferred must not re-apply
+// the stale patch. The sting in the tail: deferred operations apply
+// with the switch values current at drain time, so a stale queued op
+// plus an uncommitted switch flip would rebind to a variant nobody
+// ever committed.
+func TestOSRCommitPurgesDeferredQueue(t *testing.T) {
+	sys, err := BuildSystem(GenOptions{}, nil, Source{Name: "osrloop.mvc", Text: osrLoopSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setAndCommit(t, sys, map[string]int64{"S": 1})
+	fs := sys.RT.byName["spin"]
+	if fs == nil || fs.committed == nil {
+		t.Fatal("spin not committed")
+	}
+	was := fs.committed
+	if err := sys.Machine.StartCall(sys.Machine.CPU, "drive"); err != nil {
+		t.Fatal(err)
+	}
+	stepInto(t, sys, was.Addr, was.Addr+uint64(was.Size))
+
+	// Queue a rebinding against the active body.
+	sys.RT.SetCommitOptions(CommitOptions{Mode: ModeStopMachine, OnActive: ActiveDefer})
+	if err := sys.SetSwitch("S", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RT.Commit()
+	if err != nil {
+		t.Fatalf("deferring commit: %v", err)
+	}
+	if res.Deferred != 1 || sys.RT.DeferredCount() != 1 {
+		t.Fatalf("deferred=%d queue=%d, want 1,1", res.Deferred, sys.RT.DeferredCount())
+	}
+
+	// Same commit under ActiveOSR: lands live via frame transfer and
+	// must purge the queued op. A flight recorder pins the phase spans
+	// the real runtime emits (the mvtrace rendering test uses synthetic
+	// events; this ties the names to the engine).
+	rec := trace.NewRecorder(256)
+	AttachFlightRecorder(rec, sys.Machine, sys.RT)
+	sys.RT.SetCommitOptions(CommitOptions{Mode: ModeStopMachine, OnActive: ActiveOSR})
+	res2, err := sys.RT.Commit()
+	if err != nil {
+		t.Fatalf("OSR commit: %v", err)
+	}
+	if res2.Committed != 1 {
+		t.Fatalf("OSR commit result = %+v, want 1 committed", res2)
+	}
+	if fs.committed == was || fs.committed == nil {
+		t.Fatal("OSR commit did not rebind")
+	}
+	bound := fs.committed
+	if sys.RT.Stats.OSRTransfers == 0 {
+		t.Error("OSR commit transferred no frames (fell back?)")
+	}
+	if sys.RT.Stats.OSRFallbacks != 0 {
+		t.Errorf("OSRFallbacks = %d, want 0", sys.RT.Stats.OSRFallbacks)
+	}
+	if got := sys.RT.DeferredCount(); got != 0 {
+		t.Fatalf("DeferredCount after OSR commit = %d, want 0 (stale op not purged)", got)
+	}
+	phases := map[string]bool{}
+	for _, ev := range rec.Dump("osr purge test").Events {
+		if ev.Kind == trace.KindPhaseBegin.Name() {
+			phases[ev.Name] = true
+		}
+	}
+	if !phases["osr-herd"] || !phases["osr-transfer"] {
+		t.Errorf("OSR commit emitted phases %v, want osr-herd and osr-transfer", phases)
+	}
+
+	// The transferred CPU finishes inside the S=0 body: some iterations
+	// ran at +2 under the old binding, the rest at +1.
+	stepToHalt(t, sys)
+	ticks := call(t, sys, "get_ticks")
+	if ticks < 300 || ticks >= 600 {
+		t.Errorf("ticks = %d, want in [300,600) (transfer landed mid-loop)", ticks)
+	}
+
+	// Flip the switch back WITHOUT committing. If the stale queued op
+	// survived, the drain below would apply it at today's S=1 and
+	// rebind behind the user's back; the purge makes it a no-op.
+	if err := sys.SetSwitch("S", 1); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.RT.DrainDeferred()
+	if err != nil {
+		t.Fatalf("drain after OSR commit: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("drain re-applied %d stale op(s), want 0", n)
+	}
+	if fs.committed != bound {
+		t.Error("drain disturbed the OSR-committed binding")
+	}
+	if err := sys.RT.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	// Bound semantics: another full run adds exactly 300 (+1 each).
+	call(t, sys, "drive")
+	if got := call(t, sys, "get_ticks"); got != ticks+300 {
+		t.Errorf("ticks after bound rerun = %d, want %d", got, ticks+300)
 	}
 }
 

@@ -136,6 +136,10 @@ type assignment []int64
 
 func generateVariants(u *cc.Unit, f *codegen.Func, maxVariants int, opts GenOptions, report *GenReport) (*FuncReport, []*variantFunc, error) {
 	decl := f.Decl
+	// Stamp variant-invariant OSR labels on the pristine body before
+	// any cloning: CloneFunc copies the label fields, so the generic
+	// and every variant agree on which loop/call is which.
+	mvir.AssignOSRLabels(decl)
 	switches := mvir.ReferencedSwitches(decl)
 	if len(opts.Bind) > 0 {
 		var kept []*cc.VarSym

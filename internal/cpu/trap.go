@@ -73,11 +73,39 @@ func (c *CPU) RASLive() []uint64 {
 // to halt, the synthesized root frame every machine-started call
 // pushes; spilled integers below it can therefore alias a code address
 // and be over-reported, which only ever defers a patch, never
-// misapplies one. At most max words are scanned (0 means no bound).
-func (c *CPU) StackReturnAddresses(top, halt uint64, max int) []uint64 {
+// misapplies one. At most max words are scanned (0 means no bound);
+// when the bound cuts the walk short of the root frame the second
+// result is false, signalling that the returned list is incomplete and
+// the caller must fall back to "everything might be active" — a
+// silently short list would let a patch land under a live frame.
+func (c *CPU) StackReturnAddresses(top, halt uint64, max int) ([]uint64, bool) {
+	sites, complete := c.StackReturnSites(top, halt, max)
+	if len(sites) == 0 {
+		return nil, complete
+	}
+	out := make([]uint64, len(sites))
+	for i, s := range sites {
+		out[i] = s.Value
+	}
+	return out, complete
+}
+
+// ReturnSite is one plausible live return address found by the stack
+// scan: the word's value plus the stack address holding it — which an
+// on-stack replacement needs to rewrite the frame in place.
+type ReturnSite struct {
+	Addr  uint64 // stack address of the word
+	Value uint64 // the return address
+}
+
+// StackReturnSites is StackReturnAddresses with stack locations: the
+// same conservative scan, reporting where each qualifying word lives.
+// The bool result is false when the max bound cut the scan short of
+// the root frame (the list is then incomplete).
+func (c *CPU) StackReturnSites(top, halt uint64, max int) ([]ReturnSite, bool) {
 	sp := c.regs[isa.SP]
 	if sp >= top || sp&7 != 0 {
-		return nil
+		return nil, true
 	}
 	ras := c.RASLive()
 	inRAS := func(w uint64) bool {
@@ -88,11 +116,11 @@ func (c *CPU) StackReturnAddresses(top, halt uint64, max int) []uint64 {
 		}
 		return false
 	}
-	var out []uint64
+	var out []ReturnSite
 	scanned := 0
 	for addr := sp; addr < top; addr += 8 {
 		if max > 0 && scanned >= max {
-			break
+			return out, false // bound hit before the root frame
 		}
 		scanned++
 		w, err := c.Mem.ReadUint(addr, 8)
@@ -106,10 +134,10 @@ func (c *CPU) StackReturnAddresses(top, halt uint64, max int) []uint64 {
 			continue
 		}
 		if c.precededByCall(w) || inRAS(w) {
-			out = append(out, w)
+			out = append(out, ReturnSite{Addr: addr, Value: w})
 		}
 	}
-	return out
+	return out, true
 }
 
 // precededByCall reports whether the bytes ending at addr decode as a

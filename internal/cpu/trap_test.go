@@ -106,7 +106,10 @@ func TestStackReturnAddresses(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got := c.StackReturnAddresses(stackTop, halt, 0)
+	got, complete := c.StackReturnAddresses(stackTop, halt, 0)
+	if !complete {
+		t.Fatal("unbounded scan reported as incomplete")
+	}
 	want := []uint64{textBase + retMid, textBase + retOuter}
 	if len(got) != len(want) {
 		t.Fatalf("StackReturnAddresses = %#x, want %#x", got, want)
@@ -142,7 +145,87 @@ func TestStackWalkIgnoresNonCode(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := c.StackReturnAddresses(stackTop, halt, 0); len(got) != 0 {
-		t.Fatalf("StackReturnAddresses = %#x, want none", got)
+	if got, complete := c.StackReturnAddresses(stackTop, halt, 0); len(got) != 0 || !complete {
+		t.Fatalf("StackReturnAddresses = %#x (complete=%v), want none", got, complete)
+	}
+}
+
+// TestStackScanTruncationSignalled builds a call chain deep enough to
+// exceed a small scan bound and asserts the walker reports the result
+// as incomplete instead of silently returning a short list — the
+// signal the activeness check needs to fall back to "everything is
+// live". The regression this pins: a bounded scan that hit its limit
+// used to look identical to a complete one.
+func TestStackScanTruncationSignalled(t *testing.T) {
+	// recurse: push a word, call self while r0 > 0, then unwind.
+	var a isa.Asm
+	a.Movi(0, 40) // recursion depth
+	callerSite := a.Len()
+	a.Call(0) // placeholder -> fn
+	a.Hlt()
+	fn := a.Len()
+	a.AluI(isa.SUBI, 0, 1)
+	a.Push(1) // deepen the frame so each level costs stack words
+	a.CmpI(0, 0)
+	a.Jcc(isa.EQ, isa.CallSiteLen) // skip the recursive call at zero
+	site := a.Len()
+	a.Call(0) // placeholder -> fn (recursive)
+	a.Pop(1)
+	a.Ret()
+	code := a.Bytes()
+	fix := func(siteOff, target int) {
+		rel, err := isa.CallRel(textBase+uint64(siteOff), textBase+uint64(target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := isa.EncodeCall(rel)
+		copy(code[siteOff:], enc[:])
+	}
+	fix(callerSite, fn)
+	fix(site, fn)
+
+	c := newVM(t, code)
+	halt := textBase + uint64(len(code)) - 1
+	c.SetReg(isa.SP, stackTop-8)
+	if err := c.Mem.WriteUint(stackTop-8, 8, halt); err != nil {
+		t.Fatal(err)
+	}
+	// Run to the deepest point: r0 == 0 right after the last Subi.
+	if err := c.Step(); err != nil { // movi r0, depth
+		t.Fatal(err)
+	}
+	for c.Reg(0) != 0 {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	full, complete := c.StackReturnAddresses(stackTop, halt, 0)
+	if !complete {
+		t.Fatal("unbounded scan reported as incomplete")
+	}
+	if len(full) < 10 {
+		t.Fatalf("expected a deep chain, got %d return addresses", len(full))
+	}
+	// A bound smaller than the live stack must be reported as such.
+	short, complete := c.StackReturnAddresses(stackTop, halt, 8)
+	if complete {
+		t.Fatalf("bounded scan of 8 words over %d live addresses claims completeness", len(full))
+	}
+	if len(short) >= len(full) {
+		t.Fatalf("bounded scan returned %d addresses, full scan %d", len(short), len(full))
+	}
+	// Sites carry the stack locations the full walk saw.
+	sites, ok := c.StackReturnSites(stackTop, halt, 0)
+	if !ok || len(sites) != len(full) {
+		t.Fatalf("StackReturnSites = %d entries (complete=%v), want %d", len(sites), ok, len(full))
+	}
+	for i, s := range sites {
+		if s.Value != full[i] {
+			t.Fatalf("site %d value %#x, want %#x", i, s.Value, full[i])
+		}
+		if got, err := c.Mem.ReadUint(s.Addr, 8); err != nil || got != s.Value {
+			t.Fatalf("site %d addr %#x holds %#x (err=%v), want %#x", i, s.Addr, got, err, s.Value)
+		}
 	}
 }

@@ -40,6 +40,14 @@ type Config struct {
 	// ModeStopMachine by default so rendezvous latencies are measured.
 	Mode core.CommitMode
 
+	// ActiveStorms parks each machine mid-batch — PC inside a
+	// multiversed function body — before a storm round's flip, so the
+	// commit lands against an active function. Without the OSR
+	// escalation this shape parks every flip (ErrFunctionActive burns
+	// the whole retry budget); with it the ladder is retry → OSR → park
+	// and the flip lands.
+	ActiveStorms bool
+
 	// CommitRetries bounds storm-commit retries before parking the
 	// flip; RestartRetries bounds snapshot restores before a machine
 	// is marked failed. StepBudget is the wedge deadline per guest
@@ -421,6 +429,8 @@ type Result struct {
 	Migrations    uint64  `json:"migrations_total"`
 	ParkedFlips   uint64  `json:"parked_flips_total"`
 	CommitAborts  uint64  `json:"commit_aborts_total"`
+	OSRCommits    uint64  `json:"osr_commits_total"`
+	OSRTransfers  uint64  `json:"osr_transfers_total"`
 	Failed        int     `json:"failed_machines"`
 	CommitP50     uint64  `json:"commit_p50_cycles"`
 	CommitP99     uint64  `json:"commit_p99_cycles"`
@@ -486,6 +496,8 @@ func (fl *Fleet) report() (*Result, error) {
 		res.Migrations += sr.MigrIn
 		res.ParkedFlips += sr.Parked
 		res.CommitAborts += sh.cCommitAborts.Value()
+		res.OSRCommits += sh.cOSRCommits.Value()
+		res.OSRTransfers += sh.cOSRTransfers.Value()
 	}
 	sort.Slice(res.Machines, func(i, j int) bool { return res.Machines[i].ID < res.Machines[j].ID })
 	for _, m := range res.Machines {
@@ -507,8 +519,8 @@ func (fl *Fleet) report() (*Result, error) {
 // line: two identically-seeded runs must produce equal fingerprints.
 func (r *Result) Fingerprint() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "req=%d sched=%d restarts=%d kills=%d parked=%d failed=%d |",
-		r.Requests, r.Scheduled, r.Restarts, r.Kills, r.ParkedFlips, r.Failed)
+	fmt.Fprintf(&sb, "req=%d sched=%d restarts=%d kills=%d parked=%d osr=%d failed=%d |",
+		r.Requests, r.Scheduled, r.Restarts, r.Kills, r.ParkedFlips, r.OSRCommits, r.Failed)
 	for _, m := range r.Machines {
 		fmt.Fprintf(&sb, " %d:%s:%d:%d:%s", m.ID, m.State, m.Requests, m.Checksum, m.Digest)
 	}

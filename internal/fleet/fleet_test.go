@@ -151,6 +151,63 @@ func TestFleetDegradedMode(t *testing.T) {
 	}
 }
 
+// TestFleetActiveStormOSR is the escalation-ladder contract: with
+// every storm landing against a machine parked inside a multiversed
+// function body — the shape that previously burned the whole retry
+// budget on ErrFunctionActive and parked the flip — the retry → OSR →
+// park ladder must land every flip. fleet_degraded_machines stays at
+// zero, nothing parks, zero requests are lost, and the run stays
+// bit-reproducible.
+func TestFleetActiveStormOSR(t *testing.T) {
+	cfg := Config{Seed: 13, Shards: 2, Machines: 6, Rounds: 12, ActiveStorms: true}
+	run := func() (*Fleet, *Result) {
+		fl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fl, res
+	}
+	fl, res := run()
+	if res.Failed != 0 {
+		t.Fatalf("active-storm run lost machines: %v", fl.MemberErrors())
+	}
+	assertZeroLoss(t, fl, res)
+	if res.CommitAborts == 0 {
+		t.Fatal("no commit was ever refused — the storms never hit an active frame, escalation untested")
+	}
+	if res.OSRCommits == 0 {
+		t.Fatal("no storm commit landed via OSR escalation")
+	}
+	if res.ParkedFlips != 0 {
+		t.Fatalf("%d flips parked despite OSR escalation", res.ParkedFlips)
+	}
+	for _, m := range res.Machines {
+		if m.Parked {
+			t.Errorf("machine %d ended parked (degraded) under OSR escalation", m.ID)
+		}
+	}
+	snap := fl.Registry().Snapshot()
+	fam := snap.Find("fleet_degraded_machines")
+	if fam == nil {
+		t.Fatal("fleet_degraded_machines not exported")
+	}
+	var degraded float64
+	for _, s := range fam.Series {
+		degraded += *s.Value
+	}
+	if degraded != 0 {
+		t.Errorf("fleet_degraded_machines = %v, want 0", degraded)
+	}
+	_, res2 := run()
+	if res.Fingerprint() != res2.Fingerprint() {
+		t.Fatalf("active-storm reruns diverged:\nA: %s\nB: %s", res.Fingerprint(), res2.Fingerprint())
+	}
+}
+
 // TestFleetRestartBackoff drives the supervisor's retry path through
 // the restoreHook seam: restores that fail a few times must back off
 // and eventually land; restores that never succeed must exhaust the

@@ -166,22 +166,40 @@ func (mb *member) runRound(k int, live bool) {
 	}
 	cfg := &mb.fl.cfg
 
+	ranBatch := false
 	if cfg.StormEvery > 0 && k%cfg.StormEvery == 0 {
 		if kill == k && phase == killMidCommit {
 			mb.stormThenDie(k)
 			return
 		}
-		if !mb.storm(k) {
+		if cfg.ActiveStorms && kill != k {
+			if !mb.batchWithStorm(k) {
+				return
+			}
+			ranBatch = true
+		} else if !mb.storm(k) {
 			return
 		}
 	}
 
-	if kill == k && phase == killAtBatch {
-		mb.dieMidBatch(k)
-		return
+	if !ranBatch {
+		if kill == k && phase == killAtBatch {
+			mb.dieMidBatch(k)
+			return
+		}
+		if !mb.batch(k) {
+			return
+		}
 	}
-	if !mb.batch(k) {
-		return
+
+	// A storm whose OSR escalation fell back to deferral for some
+	// function applies it here, at the round's quiescent point, so the
+	// bindings never lag the switch values across a round boundary.
+	if mb.rt.DeferredCount() > 0 {
+		if _, err := mb.rt.DrainDeferred(); err != nil {
+			mb.fault(fmt.Errorf("deferred drain round %d: %w", k, err))
+			return
+		}
 	}
 
 	if cfg.HealthEvery > 0 && k%cfg.HealthEvery == 0 {
@@ -202,9 +220,14 @@ func (mb *member) runRound(k int, live bool) {
 // storm drives the fleet-wide flip for round k: write the target
 // switch values, Commit, and on ErrCommitAborted/ErrFunctionActive
 // retry with exponential backoff charged to the machine's own cycle
-// domain. When the retries are exhausted the flip is parked — the old
-// values are written back and the machine keeps serving the variant
-// it already has, surfacing as degraded until a later storm lands.
+// domain. The escalation ladder is retry → OSR → park: the first
+// ErrFunctionActive switches the runtime to on-stack replacement
+// (parked frames are herded or transferred into the new variant
+// inside the rendezvous — backing off cannot help when the CPU is not
+// advancing), and only when the retries are exhausted anyway is the
+// flip parked — the old values are written back and the machine keeps
+// serving the variant it already has, surfacing as degraded until a
+// later storm lands.
 func (mb *member) storm(k int) bool {
 	comp, iso := mb.fl.cfg.flipValues(k)
 	oldComp, err := mb.readSwitch("compression")
@@ -226,10 +249,24 @@ func (mb *member) storm(k int) bool {
 	}
 	mb.sh.cStormFlips.Add(1)
 
+	escalated := false
+	defer func() {
+		if escalated {
+			mb.setOnActive(core.ActiveRefuse)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
+		tBefore := 0
+		if mb.rt != nil {
+			tBefore = mb.rt.Stats.OSRTransfers
+		}
 		err := mb.commitObserved()
 		mb.syncLedger()
 		if err == nil {
+			if escalated {
+				mb.sh.cOSRCommits.Add(1)
+				mb.sh.cOSRTransfers.Add(uint64(mb.rt.Stats.OSRTransfers - tBefore))
+			}
 			if mb.parked {
 				mb.parked = false
 			}
@@ -240,6 +277,10 @@ func (mb *member) storm(k int) bool {
 			return false
 		}
 		mb.sh.cCommitAborts.Add(1)
+		if errors.Is(err, core.ErrFunctionActive) && !escalated {
+			escalated = true
+			mb.setOnActive(core.ActiveOSR)
+		}
 		if attempt+1 >= mb.fl.cfg.CommitRetries {
 			// Park: back to the last successfully committed values so
 			// the uncommitted (generic) paths agree with the bindings
@@ -279,6 +320,86 @@ func (mb *member) commitObserved() error {
 	mb.sh.hCommit.Observe(latency)
 	mb.fl.hCommit.Observe(latency)
 	return err
+}
+
+// setOnActive swaps the runtime's activeness policy, keeping the
+// configured commit mode. No-op on a down member.
+func (mb *member) setOnActive(p core.OnActivePolicy) {
+	if mb.rt == nil {
+		return
+	}
+	mb.rt.SetCommitOptions(core.CommitOptions{Mode: mb.fl.cfg.Mode, OnActive: p})
+}
+
+// batchWithStorm is the ActiveStorms round shape: start the batch,
+// park the CPU with its PC inside a multiversed function body, run the
+// storm against that live frame, then resume the batch to completion.
+// Requests served while parked-and-resumed count exactly as a plain
+// batch does, so the zero-loss contract is unchanged.
+func (mb *member) batchWithStorm(k int) bool {
+	n := mb.fl.cfg.batchSize(mb.id, k)
+	arg := mb.fl.cfg.batchArg(mb.id, k)
+	c := mb.m.CPU
+	if err := mb.m.StartCall(c, "serve_batch", n, arg); err != nil {
+		mb.fault(fmt.Errorf("serve_batch round %d: %w", k, err))
+		return false
+	}
+	if err := mb.parkInPatchable(); err != nil {
+		mb.fault(err)
+		return false
+	}
+	if !mb.storm(k) {
+		return false
+	}
+	for !c.Halted() {
+		if _, err := c.Run(mb.m.MaxSteps); err != nil {
+			if chaos.IsInjectedFetchFault(err) {
+				continue
+			}
+			mb.fault(fmt.Errorf("serve_batch round %d: %w", k, err))
+			return false
+		}
+	}
+	mb.syncLedger()
+	mb.sh.cRequests.Add(n)
+	mb.sh.cBatches.Add(1)
+	return true
+}
+
+// parkInPatchable steps the started call until the PC lands inside a
+// multiversed body (generic or variant), where the storm's activeness
+// check must see it. Bounded; a batch that halts first simply leaves
+// the storm quiesced, with nothing to replace.
+func (mb *member) parkInPatchable() error {
+	c := mb.m.CPU
+	for i := 0; i < parkBudget && !c.Halted(); i++ {
+		if err := c.Step(); err != nil {
+			if chaos.IsInjectedFetchFault(err) {
+				continue
+			}
+			return fmt.Errorf("fleet: machine %d parking mid-batch: %w", mb.id, err)
+		}
+		if mb.inPatchable(c.PC()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// inPatchable reports whether pc is inside any multiversed function
+// body — generic or variant.
+func (mb *member) inPatchable(pc uint64) bool {
+	for _, fd := range mb.rt.Funcs() {
+		if pc >= fd.Generic && pc < fd.Generic+fd.Size {
+			return true
+		}
+		for _, v := range fd.Variants {
+			if pc >= v.Addr && pc < v.Addr+v.Size {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // batch serves one load-generator batch. Spurious injected fetch
@@ -493,6 +614,7 @@ const (
 	restartBackoffBase = 1 << 10
 	restartBackoffCap  = 1 << 18
 	midBatchSteps      = 1500
+	parkBudget         = 50_000
 )
 
 func commitBackoff(attempt int) uint64 {

@@ -34,6 +34,8 @@ type shard struct {
 	cCommitAborts  *metrics.Counter
 	cCommitRetries *metrics.Counter
 	cParkedFlips   *metrics.Counter
+	cOSRCommits    *metrics.Counter
+	cOSRTransfers  *metrics.Counter
 	cKills         *metrics.Counter
 	cFaults        *metrics.Counter
 	cRestarts      *metrics.Counter
@@ -59,6 +61,8 @@ func newShard(idx int, fl *Fleet) *shard {
 	sh.cCommitAborts = sh.reg.Counter("fleet_commit_aborts_total", "commits refused or rolled back during storms")
 	sh.cCommitRetries = sh.reg.Counter("fleet_commit_retries_total", "storm commits retried after backoff")
 	sh.cParkedFlips = sh.reg.Counter("fleet_parked_flips_total", "storm flips parked after retry exhaustion")
+	sh.cOSRCommits = sh.reg.Counter("fleet_osr_commits_total", "storm commits landed via on-stack-replacement escalation")
+	sh.cOSRTransfers = sh.reg.Counter("fleet_osr_transfers_total", "live frames transferred into new variants during storms")
 	sh.cKills = sh.reg.Counter("fleet_kills_total", "chaos machine kills taken")
 	sh.cFaults = sh.reg.Counter("fleet_faults_total", "machine faults (wedges, failed probes)")
 	sh.cRestarts = sh.reg.Counter("fleet_restarts_total", "machines restarted from snapshot")

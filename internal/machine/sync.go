@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cpu"
 	"repro/internal/isa"
 )
 
@@ -154,14 +155,47 @@ const liveStackScanWords = 8192
 // each stack (see cpu.StackReturnAddresses). The runtime library's
 // activeness check consults it before rebinding a function whose old
 // variant may still be executing or awaiting return.
-func (m *Machine) LiveCodeAddrs() []uint64 {
+//
+// The second result reports whether the list is complete. When a stack
+// is deep enough that the liveStackScanWords bound cut a scan short,
+// it is false and callers must treat *every* function as potentially
+// active rather than trusting the truncated list.
+func (m *Machine) LiveCodeAddrs() ([]uint64, bool) {
 	var out []uint64
+	complete := true
 	for i, c := range m.cpus {
 		if c.Halted() {
 			continue
 		}
 		out = append(out, c.PC())
-		out = append(out, c.StackReturnAddresses(m.stackTops[i], m.Image.HaltAddr, liveStackScanWords)...)
+		ras, ok := c.StackReturnAddresses(m.stackTops[i], m.Image.HaltAddr, liveStackScanWords)
+		if !ok {
+			complete = false
+		}
+		out = append(out, ras...)
+	}
+	return out, complete
+}
+
+// OSRCPU pairs one non-halted CPU with the stack geometry an on-stack
+// replacement needs to locate and rewrite its frames.
+type OSRCPU struct {
+	CPU      *cpu.CPU
+	StackTop uint64
+	HaltAddr uint64
+	Index    int
+}
+
+// OSRCPUs returns every non-halted CPU with its stack bounds — the
+// frame-transfer engine in core iterates these during a commit
+// rendezvous.
+func (m *Machine) OSRCPUs() []OSRCPU {
+	var out []OSRCPU
+	for i, c := range m.cpus {
+		if c.Halted() {
+			continue
+		}
+		out = append(out, OSRCPU{CPU: c, StackTop: m.stackTops[i], HaltAddr: m.Image.HaltAddr, Index: i})
 	}
 	return out
 }

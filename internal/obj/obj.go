@@ -24,6 +24,7 @@ const (
 	SecMVFuncs     = "multiverse.functions"
 	SecMVCallSites = "multiverse.callsites"
 	SecMVStrings   = "multiverse.strings"
+	SecMVOSR       = "multiverse.osr"
 )
 
 // SectionFlags describe how a section is mapped at run time.
